@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4).  Default configurations are scaled down — fewer nodes,
+shorter horizons — but preserve the paper's over-commitment ratio
+(4 VMs x 8 VCPUs per 8-core node) and communication structure, so the
+normalized-execution-time *shapes* match.  Set ``REPRO_FULL=1`` for
+paper-scale sweeps (slow: hours).
+
+Benchmarks run each simulation exactly once through
+``benchmark.pedantic`` (a cloud-scale discrete-event run is seconds long
+and deterministic; statistical repetition adds nothing) and print the
+regenerated table rows so `pytest benchmarks/ --benchmark-only -s`
+reproduces the paper's figures as text.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["full_scale", "fig_nodes", "fig_apps", "fig_slices_ms", "run_once", "emit"]
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def fig_nodes() -> list[int]:
+    """Physical-node scales for the Fig. 1/10 sweeps."""
+    return [2, 4, 8, 16, 32] if full_scale() else [2, 4]
+
+
+def fig_apps() -> list[str]:
+    """NPB kernels to sweep (all six at full scale)."""
+    return ["lu", "is", "sp", "bt", "mg", "cg"] if full_scale() else ["lu", "is", "cg"]
+
+
+def fig_slices_ms() -> list[float]:
+    """Fig. 5 slice ladder (paper: 30 down to 0.1 ms)."""
+    if full_scale():
+        return [30, 24, 18, 12, 6, 1, 0.6, 0.3, 0.15, 0.1]
+    return [30, 12, 6, 1, 0.3]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-simulation benchmark exactly once, deterministically."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print a regenerated paper table."""
+    print()
+    print(format_table(headers, rows, title=title))

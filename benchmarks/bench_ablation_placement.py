@@ -1,0 +1,57 @@
+"""Ablation: virtual-cluster placement (spread vs pack).
+
+The paper's setups spread every virtual cluster across physical nodes, so
+cross-VM synchronization rides the Fig. 4 network path with its four
+scheduling-wait overhead sources.  Packing a cluster onto one node keeps
+the synchronization on the dom0 loopback (still scheduled, but no wire
+and a single host's queues) — quantifying how much of CR's degradation
+is the *cross-host* component, and how much ATC still helps intra-host.
+"""
+
+import pytest
+
+from repro.experiments.harness import CloudWorld, WorldConfig
+from repro.metrics.summary import mean
+from repro.sim.units import SEC
+
+from _common import emit, run_once
+
+RESULTS: dict[tuple, float] = {}
+
+
+def run_placement(scheduler: str, placement: str) -> float:
+    world = CloudWorld(WorldConfig(n_nodes=2, scheduler=scheduler, seed=5))
+    apps = []
+    for k in range(4):
+        vc = world.virtual_cluster(2, name=f"vc{k}", placement=placement)
+        apps.append(world.add_npb("lu", vc.vms, rounds=2, warmup_rounds=1))
+    world.run(horizon_ns=300 * SEC)
+    assert world.all_apps_done
+    return mean([t for a in apps for t in a.round_times])
+
+
+@pytest.mark.parametrize("placement", ["spread", "pack"])
+@pytest.mark.parametrize("sched", ["CR", "ATC"])
+def test_placement_cell(benchmark, sched, placement):
+    RESULTS[(sched, placement)] = run_once(benchmark, run_placement, sched, placement)
+
+
+def test_placement_report(benchmark):
+    def report():
+        base = RESULTS[("CR", "spread")]
+        rows = [
+            (f"{s} / {p}", RESULTS[(s, p)] / base)
+            for s in ("CR", "ATC")
+            for p in ("spread", "pack")
+        ]
+        emit(
+            "Ablation — lu round time by scheduler x placement (vs CR/spread)",
+            ["config", "normalized time"],
+            rows,
+        )
+        return {r[0]: r[1] for r in rows}
+
+    rows = run_once(benchmark, report)
+    # ATC helps under both placements
+    assert rows["ATC / spread"] < rows["CR / spread"]
+    assert rows["ATC / pack"] < rows["CR / pack"]

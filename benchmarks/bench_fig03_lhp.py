@@ -1,0 +1,76 @@
+"""Figure 3: lock-holder preemption makes spinlock latency a multiple of
+the time slice.
+
+Regenerates: the lock waiter's spin latency (in units of the slice) for a
+deterministic LHP scenario at several slice lengths — the figure's
+latency of "3 L_TS" generalizes to 'a few slices', shrinking linearly as
+the slice shrinks.
+"""
+
+from repro.sim.units import MSEC
+
+from _common import emit, run_once
+
+from tests.conftest import add_guest_vm, make_node_world
+
+
+def lhp_wait(slice_ns: int) -> int:
+    from repro.guest.process import compute, lock
+    from repro.guest.spinlock import SpinLock
+
+    sim, cluster, vmms = make_node_world(n_nodes=1, n_pcpus=2)
+    vmm = vmms[0]
+    vm = add_guest_vm(vmm, 2, name="par", is_parallel=True)
+    vm.slice_ns = slice_ns
+    competitors = [add_guest_vm(vmm, 2, name=f"c{i}") for i in range(2)]
+    for cvm in competitors:
+        cvm.slice_ns = slice_ns
+
+    lk = SpinLock("fig3")
+    holder = vm.kernel.add_process()
+    waiter = vm.kernel.add_process()
+
+    def holder_prog():
+        yield lock(lk, 3 * slice_ns // 2)  # preempted mid-critical-section
+
+    def waiter_prog():
+        yield compute(10_000)
+        yield lock(lk, 1_000)
+
+    def hog():
+        while True:
+            yield compute(10 * MSEC)
+
+    holder.load_program(holder_prog())
+    waiter.load_program(waiter_prog())
+    for cvm in competitors:
+        for _ in range(2):
+            p = cvm.kernel.add_process()
+            p.load_program(hog())
+            p.start()
+    holder.start()
+    waiter.start()
+    sim.run(until=5_000 * MSEC)
+    assert waiter.done
+    return waiter.total_spin_ns
+
+
+def test_fig03_lhp_latency(benchmark):
+    def sweep():
+        rows = []
+        for sm in (10, 5, 1):
+            wait = lhp_wait(sm * MSEC)
+            rows.append((sm, wait / 1e6, wait / (sm * MSEC)))
+        emit(
+            "Figure 3 — LHP spinlock latency vs time slice",
+            ["slice (ms)", "waiter spin latency (ms)", "latency / slice"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    # latency spans multiple slices in every case...
+    assert all(ratio >= 2 for _, _, ratio in rows)
+    # ...so absolute latency shrinks with the slice
+    waits = [w for _, w, _ in rows]
+    assert waits == sorted(waits, reverse=True)

@@ -1,0 +1,59 @@
+"""Figure 5: execution time and spinlock latency vs time slice.
+
+Paper (Section II-B): shortening the slice from 30 ms toward 0.1 ms
+monotonically reduces spinlock latency and improves every application
+(up to ~10x), with Pearson correlation between the two above 0.9.
+
+Regenerates: per-app rows of (slice, execution time, avg spin latency)
+plus the per-app Pearson coefficient.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import run_slice_sweep
+from repro.metrics.summary import pearson
+
+from _common import emit, fig_apps, fig_slices_ms, run_once
+
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("app", fig_apps())
+def test_fig05_sweep(benchmark, app):
+    RESULTS[app] = run_once(
+        benchmark,
+        run_slice_sweep,
+        app,
+        fig_slices_ms(),
+        rounds=2,
+        warmup_rounds=1,
+    )
+
+
+def test_fig05_report(benchmark):
+    def report():
+        out = {}
+        for app, r in RESULTS.items():
+            rows = [
+                (row["slice_ms"], row["mean_round_ns"] / 1e6, row["avg_spin_ns"] / 1e6)
+                for row in r["rows"]
+            ]
+            emit(
+                f"Figure 5 — {app}: performance & spinlock latency vs slice",
+                ["slice (ms)", "exec time (ms)", "avg spin latency (ms)"],
+                rows,
+            )
+            times = [t for _, t, _ in rows]
+            spins = [s for _, _, s in rows]
+            out[app] = (times, spins, pearson(spins, times))
+            print(f"  {app}: pearson(spin, time) = {out[app][2]:.3f}")
+        return out
+
+    out = run_once(benchmark, report)
+    for app, (times, spins, corr) in out.items():
+        # spin latency decreases monotonically with the slice
+        assert spins == sorted(spins, reverse=True), app
+        # performance improves substantially from 30 ms to the shortest
+        assert times[-1] < times[0], app
+        # the paper's correlation claim
+        assert corr > 0.9, app

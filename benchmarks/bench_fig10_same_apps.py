@@ -1,0 +1,52 @@
+"""Figure 10: evaluation type A — identical virtual clusters running the
+same NPB kernel, all approaches, across cluster scales.
+
+Paper: ATC achieves the best normalized execution time and the best
+scalability; CS sits between ATC and BS; BS's small advantage over CR
+erodes with scale; DSS lands between CR and ATC.
+
+Regenerates: normalized execution time per (app, approach, scale).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import run_type_a
+
+from _common import emit, fig_nodes, full_scale, run_once
+
+APPS = ["lu", "is", "sp", "bt", "mg", "cg"] if full_scale() else ["lu", "is"]
+SCHEDS = ["CR", "BS", "CS", "DSS", "ATC"]
+RESULTS: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("n_nodes", fig_nodes())
+@pytest.mark.parametrize("sched", SCHEDS)
+@pytest.mark.parametrize("app", APPS)
+def test_fig10_cell(benchmark, app, sched, n_nodes):
+    r = run_once(
+        benchmark, run_type_a, app, sched, n_nodes, rounds=2, warmup_rounds=1
+    )
+    assert r["all_done"], f"{app}/{sched}/{n_nodes} incomplete"
+    RESULTS[(app, sched, n_nodes)] = r["mean_round_ns"]
+
+
+def test_fig10_report(benchmark):
+    def report():
+        norm = {}
+        for (app, sched, n), t in RESULTS.items():
+            norm[(app, sched, n)] = t / RESULTS[(app, "CR", n)]
+        for app in APPS:
+            rows = []
+            for n in fig_nodes():
+                rows.append((n, *(round(norm[(app, s, n)], 3) for s in SCHEDS)))
+            emit(f"Figure 10 — {app}: normalized execution time", ["nodes", *SCHEDS], rows)
+        return norm
+
+    norm = run_once(benchmark, report)
+    for app in APPS:
+        for n in fig_nodes():
+            # ATC is the best approach at every cell
+            others = [norm[(app, s, n)] for s in SCHEDS if s != "ATC"]
+            assert norm[(app, "ATC", n)] <= min(others) + 1e-9, (app, n)
+            # and beats CR by at least the paper's minimum factor band
+            assert norm[(app, "ATC", n)] < 0.75, (app, n)

@@ -1,0 +1,50 @@
+"""Headline claim (abstract / Section IV): ATC obtains 1.5-10x performance
+gains for parallel applications over CR and the other approaches.
+
+Regenerates: ATC's speedup factor over CR, CS and BS for each NPB kernel
+at the default scale, and checks the 1.5-10x band against CR.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import run_type_a
+
+from _common import emit, fig_apps, full_scale, run_once
+
+SCHEDS = ["CR", "CS", "BS", "ATC"]
+N_NODES = 8 if full_scale() else 2
+RESULTS: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("sched", SCHEDS)
+@pytest.mark.parametrize("app", fig_apps())
+def test_headline_cell(benchmark, app, sched):
+    r = run_once(benchmark, run_type_a, app, sched, N_NODES, rounds=2, warmup_rounds=1)
+    assert r["all_done"]
+    RESULTS[(app, sched)] = r["mean_round_ns"]
+
+
+def test_headline_report(benchmark):
+    def report():
+        rows = []
+        for app in fig_apps():
+            atc = RESULTS[(app, "ATC")]
+            rows.append(
+                (
+                    app,
+                    RESULTS[(app, "CR")] / atc,
+                    RESULTS[(app, "CS")] / atc,
+                    RESULTS[(app, "BS")] / atc,
+                )
+            )
+        emit(
+            "Headline — ATC speedup factors (x) per application",
+            ["app", "vs CR", "vs CS", "vs BS"],
+            rows,
+        )
+        return {r[0]: r[1:] for r in rows}
+
+    rows = run_once(benchmark, report)
+    for app, (vs_cr, vs_cs, vs_bs) in rows.items():
+        assert 1.5 <= vs_cr <= 12.0, f"{app}: vs CR {vs_cr:.2f}x outside the paper band"
+        assert vs_cs > 1.0 and vs_bs > 1.0, app

@@ -1,0 +1,47 @@
+"""Table I: the LLNL Atlas job-size distribution and the paper's virtual
+cluster mix derived from it.
+
+Regenerates: (a) the exact Section IV-B2 configuration (one 256-VCPU VC,
+two 128s, three 64s, one 32, three 16s, 30 independents over 128 VMs) and
+(b) a synthesized scaled-down mix whose size distribution follows
+Table I.
+"""
+
+import collections
+
+from repro.sim.rng import SimRNG
+from repro.workloads.traces import ATLAS_TABLE1, paper_vc_mix, synthesize_vc_mix
+
+from _common import emit, run_once
+
+
+def test_table1_paper_mix(benchmark):
+    mix = run_once(benchmark, paper_vc_mix)
+    emit(
+        "Table I — paper VC mix (8-VCPU VMs)",
+        ["VC sizes (VCPUs)", "independent VMs", "total VMs"],
+        [(",".join(map(str, mix.cluster_sizes_vcpus)), mix.independent_vms, mix.total_vms)],
+    )
+    assert mix.total_vms == 128
+    assert sorted(mix.cluster_sizes_vcpus, reverse=True) == [
+        256, 128, 128, 64, 64, 64, 32, 16, 16, 16,
+    ]
+
+
+def test_table1_synthesis_follows_distribution(benchmark):
+    def synth():
+        counts = collections.Counter()
+        for seed in range(200):
+            mix = synthesize_vc_mix(128, 8, SimRNG(seed), min_vcpus=16, max_vcpus=256)
+            for s in mix.cluster_sizes_vcpus:
+                counts[s] += 1
+        return counts
+
+    counts = run_once(benchmark, synth)
+    total = sum(counts.values())
+    rows = [(s, counts.get(s, 0) / total) for s in sorted(ATLAS_TABLE1) if s >= 16]
+    emit("Table I — synthesized size frequencies (200 draws)", ["VCPUs", "fraction"], rows)
+    # small sizes must be drawn more often than large ones, per Table I
+    freq = dict(rows)
+    assert freq[16] > freq[256]
+    assert freq[64] > freq[32]  # Table I: 12.6% vs 4.5%

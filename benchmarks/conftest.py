@@ -1,0 +1,8 @@
+"""Benchmark-suite conftest: make the sibling ``_common`` module importable
+and default to one-shot (pedantic) timing for whole-simulation runs."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))  # for tests.conftest helpers

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs in offline
+environments that lack the ``wheel`` package (configuration lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,217 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+Examples::
+
+    python -m repro list
+    python -m repro typea --app lu --scheduler ATC --nodes 2
+    python -m repro compare --app lu --nodes 2
+    python -m repro sweep --app lu --slices 30,6,1,0.3
+    python -m repro mix --scheduler ATC --np-slice 6
+    python -m repro typeb --scheduler ATC --nodes 6
+    python -m repro probe --scheduler CR
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import (
+    run_packet_path_probe,
+    run_slice_sweep,
+    run_small_mix,
+    run_type_a,
+    run_type_b,
+)
+from repro.schedulers.registry import scheduler_names
+from repro.workloads.npb import NPB_EXTENDED
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (one subcommand per experiment)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Acceleration of Parallel "
+        "Applications in Cloud Platforms by Adaptive Time-Slice Control' "
+        "(IPDPS 2016) on a discrete-event virtualized-cluster simulator.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list schedulers, kernels and experiments")
+
+    def common(sp, app=True):
+        sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+        sp.add_argument("--nodes", type=int, default=2)
+        sp.add_argument("--seed", type=int, default=0)
+        if app:
+            sp.add_argument("--app", default="lu", choices=NPB_EXTENDED)
+
+    sp = sub.add_parser("typea", help="evaluation type A (Figs. 1, 10)")
+    common(sp)
+    sp.add_argument("--rounds", type=int, default=2)
+    sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+
+    sp = sub.add_parser("compare", help="type A under every approach, normalized")
+    common(sp, app=True)
+    sp.add_argument("--rounds", type=int, default=2)
+
+    sp = sub.add_parser("sweep", help="static slice sweep under CR (Figs. 5, 8)")
+    sp.add_argument("--app", default="lu", choices=NPB_EXTENDED)
+    sp.add_argument("--nodes", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--slices", default="30,12,6,1,0.3", help="comma-separated ms values")
+    sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+
+    sp = sub.add_parser("mix", help="parallel + non-parallel coexistence (Figs. 2, 9)")
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--horizon", type=float, default=6.0, help="virtual seconds")
+    sp.add_argument("--np-slice", type=float, default=None, help="admin slice (ms) for non-parallel VMs under ATC")
+
+    sp = sub.add_parser("typeb", help="LLNL-trace cluster mix (Fig. 11)")
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--nodes", type=int, default=6)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--horizon", type=float, default=8.0)
+
+    sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
+    sp.add_argument("--scheduler", default="CR", choices=scheduler_names())
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--probes", type=int, default=50)
+    sp.add_argument("--slice", type=float, default=None, help="uniform slice (ms)")
+    return p
+
+
+def _cmd_list() -> None:
+    print("schedulers :", ", ".join(scheduler_names()))
+    print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
+    print("experiments: typea, compare, sweep, mix, typeb, probe")
+
+
+def _cmd_typea(args) -> None:
+    r = run_type_a(
+        args.app, args.scheduler, args.nodes,
+        rounds=args.rounds, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
+    )
+    print(
+        format_table(
+            ["app", "scheduler", "nodes", "mean round (ms)", "avg spin (ms)", "done"],
+            [(r["app"], r["scheduler"], r["n_nodes"], r["mean_round_ns"] / 1e6,
+              r["avg_spin_ns"] / 1e6, r["all_done"])],
+            title="Evaluation type A",
+        )
+    )
+
+
+def _cmd_compare(args) -> None:
+    rows = []
+    base = None
+    for sched in ("CR", "BS", "CS", "DSS", "ATC"):
+        r = run_type_a(args.app, sched, args.nodes, rounds=args.rounds, warmup_rounds=1, seed=args.seed)
+        if base is None:
+            base = r["mean_round_ns"]
+        rows.append((sched, r["mean_round_ns"] / 1e6, r["mean_round_ns"] / base))
+    print(
+        format_table(
+            ["scheduler", "mean round (ms)", "normalized vs CR"],
+            rows,
+            title=f"Type A comparison — {args.app} on {args.nodes} nodes",
+        )
+    )
+
+
+def _cmd_sweep(args) -> None:
+    slices = [float(s) for s in args.slices.split(",")]
+    r = run_slice_sweep(args.app, slices, n_nodes=args.nodes, rounds=2,
+                        warmup_rounds=1, npb_class=args.npb_class, seed=args.seed)
+    rows = [
+        (row["slice_ms"], row["mean_round_ns"] / 1e6, row["avg_spin_ns"] / 1e6,
+         row["context_switches"], row["llc_misses"])
+        for row in r["rows"]
+    ]
+    print(
+        format_table(
+            ["slice (ms)", "round (ms)", "spin (ms)", "ctx switches", "LLC misses"],
+            rows,
+            title=f"Slice sweep — {args.app}.{args.npb_class} (CR)",
+        )
+    )
+
+
+def _cmd_mix(args) -> None:
+    r = run_small_mix(args.scheduler, seed=args.seed, horizon_s=args.horizon,
+                      atc_np_slice_ms=args.np_slice)
+    rows = [
+        ("parallel mean round (ms)", r["parallel_mean_round_ns"] / 1e6),
+        ("sphinx3 run (ms)", r["sphinx3_mean_run_ns"] / 1e6),
+        ("stream bandwidth (GB/s)", r["stream_bandwidth_Bps"] / 1e9),
+        ("bonnie++ throughput (MB/s)", r["bonnie_throughput_Bps"] / 1e6),
+        ("ping RTT (ms)", r["ping_mean_rtt_ns"] / 1e6),
+    ]
+    title = f"Mixed tenancy — {args.scheduler}"
+    if args.np_slice is not None:
+        title += f" (non-parallel slice {args.np_slice} ms)"
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _cmd_typeb(args) -> None:
+    r = run_type_b(args.scheduler, n_nodes=args.nodes, seed=args.seed, horizon_s=args.horizon)
+    rows = [
+        (vc["vc"], vc["app"], vc["n_vms"], vc["rounds"],
+         vc["mean_round_ns"] / 1e6 if vc["mean_round_ns"] == vc["mean_round_ns"] else "n/a")
+        for vc in r["vcs"]
+    ]
+    print(
+        format_table(
+            ["VC", "app", "VMs", "rounds", "mean round (ms)"],
+            rows,
+            title=f"Type B (LLNL trace mix) — {args.scheduler} on {args.nodes} nodes",
+        )
+    )
+
+
+def _cmd_probe(args) -> None:
+    r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
+                              n_probes=args.probes, seed=args.seed)
+    rows = [
+        ("netback tx wait", r["mean_netback_tx_wait_ns"] / 1e3),
+        ("wire", r["mean_wire_ns"] / 1e3),
+        ("netback rx wait", r["mean_netback_rx_wait_ns"] / 1e3),
+        ("guest consume wait", r["mean_consume_wait_ns"] / 1e3),
+        ("end to end", r["mean_end_to_end_ns"] / 1e3),
+    ]
+    print(
+        format_table(
+            ["hop", "mean (us)"],
+            rows,
+            title=f"Packet-path probe — {args.scheduler} ({r['probes']} probes)",
+        )
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "typea":
+        _cmd_typea(args)
+    elif args.command == "compare":
+        _cmd_compare(args)
+    elif args.command == "sweep":
+        _cmd_sweep(args)
+    elif args.command == "mix":
+        _cmd_mix(args)
+    elif args.command == "typeb":
+        _cmd_typeb(args)
+    elif args.command == "probe":
+        _cmd_probe(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Physical substrate: nodes, PCPUs, LLC cache model, disk, network fabric."""
+
+from repro.cluster.cache import CacheParams, PCPUCache
+from repro.cluster.network import Fabric, NetworkParams
+from repro.cluster.node import Disk, DiskParams, NodeParams, PCPU, PhysicalNode
+from repro.cluster.topology import Cluster, build_cluster
+
+__all__ = [
+    "CacheParams",
+    "PCPUCache",
+    "Fabric",
+    "NetworkParams",
+    "Disk",
+    "DiskParams",
+    "NodeParams",
+    "PCPU",
+    "PhysicalNode",
+    "Cluster",
+    "build_cluster",
+]

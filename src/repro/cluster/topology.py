@@ -1,0 +1,51 @@
+"""Cluster assembly: nodes + fabric.
+
+:class:`Cluster` is a plain container; the hypervisor layer attaches VMMs
+and VMs to it.  Builders here mirror the paper's testbed shapes (N nodes of
+8 cores on one switched segment).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import Fabric, NetworkParams
+from repro.cluster.node import NodeParams, PhysicalNode
+from repro.sim.engine import Simulator
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+class Cluster:
+    """A set of physical nodes connected by one fabric."""
+
+    __slots__ = ("sim", "nodes", "fabric")
+
+    def __init__(self, sim: Simulator, nodes: list[PhysicalNode], fabric: Fabric) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.fabric = fabric
+
+    @property
+    def n_pcpus(self) -> int:
+        """Total physical cores in the cluster."""
+        return sum(len(n.pcpus) for n in self.nodes)
+
+    def node(self, index: int) -> PhysicalNode:
+        return self.nodes[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster nodes={len(self.nodes)} pcpus={self.n_pcpus}>"
+
+
+def build_cluster(
+    sim: Simulator,
+    n_nodes: int,
+    node_params: NodeParams | None = None,
+    net_params: NetworkParams | None = None,
+) -> Cluster:
+    """Create ``n_nodes`` identical nodes on one switched Ethernet segment."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    node_params = node_params or NodeParams()
+    nodes = [PhysicalNode(sim, i, node_params) for i in range(n_nodes)]
+    fabric = Fabric(sim, net_params or NetworkParams())
+    return Cluster(sim, nodes, fabric)

@@ -1,0 +1,129 @@
+"""Algorithm 1: computing the time slice of a VM running a parallel
+application from its spinlock-latency history.
+
+This is a *pure function* of the last three scheduling periods' history —
+``(sLatency_{i-3}, sLatency_{i-2}, sLatency_{i-1})`` and
+``(timeSlice_{i-3}, timeSlice_{i-2}, timeSlice_{i-1})`` — exactly as the
+paper's Algorithm 1 specifies.  Keeping it pure makes the control law
+directly unit- and property-testable independent of the simulator.
+
+Fidelity notes
+--------------
+* The printed pseudo-code's *shorten* branch triggers when the latency
+  rose in the last period, **or** when it fell consistently across three
+  periods *while the slice was also being shortened* (i.e. the shortening
+  is working — keep going).  The prose of Section III-A instead describes
+  lengthening the slice in the second case.  Both readings are
+  implemented, selected by :attr:`repro.core.config.ATCConfig.trend_policy`
+  (default ``"paper"`` = pseudo-code).
+* Printed lines 2 and 4 both guard with ``timeSlice - alpha >=
+  minThreshold``; the second is an evident typo for ``beta`` (otherwise
+  the beta branch could never fire) and is implemented with ``beta``.
+* Printed line 15's ``timeSlice_{i-1} - alpha >= minThreshold`` in the
+  latency-zero *restore* branch is likewise a typo; the evident intent —
+  step the slice back up toward DEFAULT by ``alpha`` (or ``beta`` when
+  close) — is implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import ATCConfig
+
+__all__ = ["compute_time_slice", "ATCVmState"]
+
+
+def compute_time_slice(
+    s_latency: Sequence[float],
+    time_slice: Sequence[int],
+    cfg: ATCConfig,
+) -> int:
+    """Return the time slice (ns) for the coming scheduling period.
+
+    Parameters
+    ----------
+    s_latency:
+        Average spinlock latency (ns) of the VM in the last three
+        scheduling periods, oldest first: ``[lat_{i-3}, lat_{i-2},
+        lat_{i-1}]``.
+    time_slice:
+        Time slice (ns) of the VM in the same periods, oldest first.
+    cfg:
+        The ATC configuration (alpha, beta, minimum threshold, default).
+    """
+    if len(s_latency) != 3 or len(time_slice) != 3:
+        raise ValueError("Algorithm 1 needs exactly three periods of history")
+    lat3, lat2, lat1 = s_latency
+    ts3, ts2, ts1 = time_slice
+    alpha = cfg.alpha_ns
+    beta = cfg.beta_ns
+    thr = cfg.min_threshold_ns
+    default = cfg.default_ns
+
+    rising = lat2 < lat1
+    falling_by_shortening = (lat3 > lat2 > lat1) and (ts2 > ts1)
+
+    if cfg.trend_policy == "paper":
+        shorten = rising or falling_by_shortening
+        lengthen_gently = False
+    else:  # "prose"
+        shorten = rising
+        lengthen_gently = falling_by_shortening
+
+    if shorten:
+        # Lines 1-8: shorten by the coarse step while it stays above the
+        # threshold, else by the fine step, else hold.
+        if ts1 > alpha and ts1 - alpha >= thr:
+            ts_i = ts1 - alpha
+        elif ts1 > beta and ts1 - beta >= thr:
+            ts_i = ts1 - beta
+        else:
+            ts_i = ts1
+    elif lengthen_gently:
+        ts_i = min(default, ts1 + beta)
+    else:
+        # Lines 9-11: no clear rising trend — hold.
+        ts_i = ts1
+
+    # Lines 12-20: the VM showed no spinlock latency for three consecutive
+    # periods — the parallel phase ended; restore toward the default so
+    # the VM does not keep paying context-switch overhead.
+    if lat3 == 0 and lat2 == 0 and lat1 == 0:
+        if ts1 > default - alpha:
+            ts_i = default
+        elif ts1 + alpha <= default:
+            ts_i = ts1 + alpha
+        else:
+            ts_i = min(default, ts1 + beta)
+
+    return ts_i
+
+
+class ATCVmState:
+    """Rolling three-period history for one VM (Fig. 6).
+
+    ``observe(avg_latency, slice_used)`` is called at the end of each
+    scheduling period; :meth:`next_slice` evaluates Algorithm 1 once at
+    least three periods have been observed (before that, the default
+    slice is kept — the algorithm is defined over a full history window).
+    """
+
+    __slots__ = ("cfg", "latencies", "slices")
+
+    def __init__(self, cfg: ATCConfig) -> None:
+        self.cfg = cfg
+        self.latencies: list[float] = []
+        self.slices: list[int] = []
+
+    def observe(self, avg_latency_ns: float, slice_ns: int) -> None:
+        self.latencies.append(avg_latency_ns)
+        self.slices.append(slice_ns)
+        if len(self.latencies) > 3:
+            del self.latencies[0]
+            del self.slices[0]
+
+    def next_slice(self) -> int:
+        if len(self.latencies) < 3:
+            return self.slices[-1] if self.slices else self.cfg.default_ns
+        return compute_time_slice(self.latencies, self.slices, self.cfg)

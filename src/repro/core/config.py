@@ -1,0 +1,57 @@
+"""Configuration of the Adaptive Time-slice Control (ATC) model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MSEC, ns_from_ms
+
+__all__ = ["ATCConfig"]
+
+
+@dataclass(frozen=True)
+class ATCConfig:
+    """Inputs of Algorithms 1 and 2 (Section III).
+
+    ``alpha`` and ``beta`` are the two time-slice adjustment granularities
+    ("the former is larger than the latter"); ``min_threshold`` is the
+    uniform minimum time-slice threshold derived in Section III-B via the
+    Euclidean metric (0.3 ms); ``default`` is the VMM's default slice
+    (Xen credit: 30 ms).
+    """
+
+    #: Coarse adjustment step (ns).  The paper's motivating experiments
+    #: shorten the slice in 6 ms decrements; we adopt 6 ms.
+    alpha_ns: int = 6 * MSEC
+    #: Fine adjustment step (ns).  Chosen equal to the minimum threshold
+    #: so the control law can converge exactly onto it.
+    beta_ns: int = ns_from_ms(0.3)
+    #: Minimum time-slice threshold (ns): 0.3 ms per Section III-B.
+    min_threshold_ns: int = ns_from_ms(0.3)
+    #: VMM default time slice (ns): Xen credit default, 30 ms.
+    default_ns: int = 30 * MSEC
+    #: Which reading of Algorithm 1 to use for the "sustained decrease
+    #: caused by a slice decrease" case:
+    #:   "paper": the printed pseudo-code — keep shortening (it is working);
+    #:   "prose": the Section III-A text — gently lengthen the slice.
+    trend_policy: str = "paper"
+    #: Where the per-period latency signal comes from:
+    #:   "guest": the paper's intrusive in-kernel spinlock tracing;
+    #:   "queuewait": the non-intrusive VMM-side run-queue-wait proxy
+    #:   (the paper's stated future work — no guest modification needed).
+    monitor_mode: str = "guest"
+
+    def __post_init__(self) -> None:
+        if self.alpha_ns <= self.beta_ns:
+            raise ValueError(
+                f"alpha ({self.alpha_ns}) must exceed beta ({self.beta_ns}) "
+                "(paper: 'the former is larger than the latter')"
+            )
+        if self.min_threshold_ns <= 0:
+            raise ValueError("min_threshold_ns must be positive")
+        if self.default_ns < self.min_threshold_ns:
+            raise ValueError("default slice below the minimum threshold")
+        if self.trend_policy not in ("paper", "prose"):
+            raise ValueError(f"unknown trend_policy {self.trend_policy!r}")
+        if self.monitor_mode not in ("guest", "queuewait"):
+            raise ValueError(f"unknown monitor_mode {self.monitor_mode!r}")

@@ -1,0 +1,75 @@
+"""Diagnostics for the ATC control loop.
+
+The paper's controller has two interesting dynamic properties worth
+measuring in any deployment: how fast it converges from the 30 ms default
+onto its operating slice when a parallel phase starts, and how quickly it
+restores the default when the phase ends.  These helpers analyse the
+``(time, slice)`` histories the controller records with
+``ATCParams(record_series=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["ConvergenceReport", "analyze_slice_trace", "settling_time"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of one controller slice trace."""
+
+    #: Number of control periods observed.
+    periods: int
+    #: First slice value in the trace (ns).
+    initial_ns: int
+    #: Final slice value (ns).
+    final_ns: int
+    #: Smallest slice ever applied (ns).
+    min_ns: int
+    #: Time of first arrival at the final value, staying there (ns), or
+    #: None if the trace never settles.
+    settled_at_ns: Optional[int]
+    #: Number of direction changes (shorten <-> lengthen) — a rough
+    #: oscillation measure; 0 or 1 for a clean ramp.
+    reversals: int
+
+
+def settling_time(trace: Sequence[tuple[int, int]], tolerance_ns: int = 0) -> Optional[int]:
+    """Earliest time from which the slice never again deviates from its
+    final value by more than ``tolerance_ns``.  None for an empty trace."""
+    if not trace:
+        return None
+    final = trace[-1][1]
+    settled = None
+    for t, s in trace:
+        if abs(s - final) <= tolerance_ns:
+            if settled is None:
+                settled = t
+        else:
+            settled = None
+    return settled
+
+
+def analyze_slice_trace(trace: Sequence[tuple[int, int]]) -> ConvergenceReport:
+    """Analyse a controller ``slice_history`` (list of (time, slice_ns))."""
+    if not trace:
+        raise ValueError("empty slice trace")
+    slices = [s for _, s in trace]
+    reversals = 0
+    last_dir = 0
+    for a, b in zip(slices, slices[1:]):
+        d = (b > a) - (b < a)
+        if d != 0:
+            if last_dir != 0 and d != last_dir:
+                reversals += 1
+            last_dir = d
+    return ConvergenceReport(
+        periods=len(trace),
+        initial_ns=slices[0],
+        final_ns=slices[-1],
+        min_ns=min(slices),
+        settled_at_ns=settling_time(trace),
+        reversals=reversals,
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness: the CloudWorld facade, per-figure scenario
+builders, and plain-text reporting."""
+
+from repro.experiments.harness import CloudWorld, WorldConfig
+from repro.experiments.reporting import format_normalized, format_table, to_csv, to_markdown
+from repro.experiments.scenarios import (
+    full_scale,
+    run_packet_path_probe,
+    run_slice_sweep,
+    run_small_mix,
+    run_type_a,
+    run_type_b,
+    run_type_b_mixed,
+)
+
+__all__ = [
+    "CloudWorld",
+    "WorldConfig",
+    "format_normalized",
+    "format_table",
+    "to_csv",
+    "to_markdown",
+    "full_scale",
+    "run_packet_path_probe",
+    "run_slice_sweep",
+    "run_small_mix",
+    "run_type_a",
+    "run_type_b",
+    "run_type_b_mixed",
+]

@@ -1,0 +1,280 @@
+"""CloudWorld: the one-stop experiment facade.
+
+Wires a whole virtualized cloud — simulator, physical cluster, one VMM +
+dom0 per node with the chosen scheduler, guest VMs with kernels — and
+provides the builders the paper's scenarios need: virtual clusters spread
+across nodes, NPB jobs in batch mode, and the non-parallel applications.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    world = CloudWorld(WorldConfig(n_nodes=2, scheduler="ATC"))
+    vc = world.virtual_cluster(n_vms=2, name="vc0")
+    app = world.add_npb("lu", vc.vms, rounds=3, warmup_rounds=1)
+    world.run(horizon_ns=ns_from_s(20))
+    print(app.mean_round_ns)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.network import NetworkParams
+from repro.cluster.node import NodeParams
+from repro.cluster.topology import Cluster, build_cluster
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.dom0 import Dom0, Dom0Params
+from repro.hypervisor.vm import VM
+from repro.hypervisor.vmm import VMM
+from repro.schedulers.base import SchedulerParams
+from repro.schedulers.registry import make_scheduler_factory
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRNG
+from repro.sim.units import MSEC, SEC
+from repro.virtcluster.cluster import VirtualCluster
+from repro.virtcluster.placement import pack_placement, spread_placement
+from repro.workloads.base import BSPSpec, ParallelApp
+from repro.workloads.nonparallel import (
+    CPU_APP_SPECS,
+    BonnieApp,
+    CpuApp,
+    PingApp,
+    StreamApp,
+    WebServerApp,
+)
+from repro.workloads.npb import npb_spec
+
+__all__ = ["WorldConfig", "CloudWorld"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Shape of the simulated cloud platform."""
+
+    #: Physical nodes (paper: up to 32, each 8 cores).
+    n_nodes: int = 2
+    #: VMs hosted per node (paper: 4).
+    vms_per_node: int = 4
+    #: VCPUs per guest VM (paper: 8; 16 in the Section II-B experiments).
+    vcpus_per_vm: int = 8
+    #: Scheduler approach name: CR / CS / BS / DSS / VS / ATC.
+    scheduler: str = "CR"
+    #: Optional scheduler parameter override.
+    sched_params: Optional[SchedulerParams] = None
+    #: Force a fixed time slice on every *guest* VM (the Fig. 5/8/9 static
+    #: sweeps).  Only meaningful with CR — adaptive schedulers overwrite it.
+    uniform_slice_ns: Optional[int] = None
+    #: VMM scheduling period (credit accounting + ATC control period).
+    period_ns: int = 30 * MSEC
+    #: Deterministic seed for all workload randomness.
+    seed: int = 0
+    #: PV-spinlock grace budget: CPU time a guest waiter spins before
+    #: blocking on its event channel (None = spin forever; see
+    #: repro.guest.kernel.GuestKernel).
+    spin_block_ns: Optional[int] = 20_000_000
+    node_params: NodeParams = field(default_factory=NodeParams)
+    net_params: NetworkParams = field(default_factory=NetworkParams)
+    dom0_params: Dom0Params = field(default_factory=Dom0Params)
+
+
+class CloudWorld:
+    """A fully wired simulated cloud platform."""
+
+    def __init__(self, config: WorldConfig | None = None) -> None:
+        self.config = config or WorldConfig()
+        cfg = self.config
+        self.sim = Simulator()
+        self.rng = SimRNG(cfg.seed)
+        self.cluster: Cluster = build_cluster(
+            self.sim, cfg.n_nodes, cfg.node_params, cfg.net_params
+        )
+        factory = make_scheduler_factory(cfg.scheduler, cfg.sched_params)
+        self.vmms: list[VMM] = []
+        for node in self.cluster.nodes:
+            vmm = VMM(self.sim, node, factory, period_ns=cfg.period_ns)
+            Dom0(self.sim, vmm, self.cluster.fabric, cfg.dom0_params)
+            self.vmms.append(vmm)
+        self._node_vm_load = [0] * cfg.n_nodes
+        self._rng_key = 0
+        self.vms: list[VM] = []
+        self.virtual_clusters: list[VirtualCluster] = []
+        self.apps: list[ParallelApp] = []  # tracked (finite-round) jobs
+        self.background: list = []  # infinite jobs and non-parallel apps
+        self._started = False
+        self._pending_apps = 0
+
+    # ------------------------------------------------------------------
+    # Topology builders
+    # ------------------------------------------------------------------
+    def _next_rng(self) -> SimRNG:
+        self._rng_key += 1
+        return self.rng.substream(self._rng_key)
+
+    def _create_vm(
+        self,
+        node_idx: int,
+        n_vcpus: Optional[int],
+        is_parallel: bool,
+        name: Optional[str],
+        weight: float = 1.0,
+    ) -> VM:
+        """Construct a VM on an already-reserved node slot."""
+        cfg = self.config
+        vm = VM(
+            self.cluster.nodes[node_idx],
+            n_vcpus if n_vcpus is not None else cfg.vcpus_per_vm,
+            name=name,
+            is_parallel=is_parallel,
+            weight=weight,
+        )
+        if cfg.uniform_slice_ns is not None:
+            vm.slice_ns = cfg.uniform_slice_ns
+        self.vmms[node_idx].add_vm(vm)
+        GuestKernel(self.sim, vm, spin_block_ns=cfg.spin_block_ns)
+        self.vms.append(vm)
+        return vm
+
+    def new_vm(
+        self,
+        node_idx: Optional[int] = None,
+        n_vcpus: Optional[int] = None,
+        is_parallel: bool = False,
+        name: Optional[str] = None,
+        weight: float = 1.0,
+    ) -> VM:
+        """Create a guest VM (with a guest kernel) on a node.
+
+        ``node_idx=None`` picks the least-loaded node.
+        """
+        cfg = self.config
+        if node_idx is None:
+            node_idx = spread_placement(1, self._node_vm_load, cfg.vms_per_node)[0]
+        else:
+            if self._node_vm_load[node_idx] >= cfg.vms_per_node:
+                raise RuntimeError(f"node {node_idx} is at VM capacity")
+            self._node_vm_load[node_idx] += 1
+        return self._create_vm(node_idx, n_vcpus, is_parallel, name, weight)
+
+    def virtual_cluster(
+        self,
+        n_vms: int,
+        name: Optional[str] = None,
+        node_indices: Optional[Sequence[int]] = None,
+        n_vcpus: Optional[int] = None,
+        placement: str = "spread",
+    ) -> VirtualCluster:
+        """Create a virtual cluster of parallel VMs.
+
+        ``placement="spread"`` (the paper's setup) puts each VM on a
+        different node where possible; ``"pack"`` fills nodes in order
+        (for ablations isolating the cross-VM network overhead).
+        """
+        name = name or f"vc{len(self.virtual_clusters)}"
+        if node_indices is None:
+            place = spread_placement if placement == "spread" else pack_placement
+            node_indices = place(n_vms, self._node_vm_load, self.config.vms_per_node)
+        else:
+            for ni in node_indices:
+                if self._node_vm_load[ni] >= self.config.vms_per_node:
+                    raise RuntimeError(f"node {ni} is at VM capacity")
+                self._node_vm_load[ni] += 1
+        vms = [
+            self._create_vm(ni, n_vcpus, True, f"{name}.vm{i}")
+            for i, ni in enumerate(node_indices)
+        ]
+        vc = VirtualCluster(name, vms)
+        self.virtual_clusters.append(vc)
+        return vc
+
+    # ------------------------------------------------------------------
+    # Workload builders
+    # ------------------------------------------------------------------
+    def add_npb(
+        self,
+        kernel: str | BSPSpec,
+        vms: Sequence[VM],
+        rounds: Optional[int] = 3,
+        warmup_rounds: int = 1,
+        npb_class: str = "B",
+        procs_per_vm: Optional[int] = None,
+    ) -> ParallelApp:
+        """Run an NPB kernel on a set of VMs, batch mode.
+
+        ``rounds=None`` makes it untracked background load (repeats until
+        the horizon); otherwise the world's :meth:`run` can stop when all
+        tracked apps complete their measured rounds.
+        """
+        spec = kernel if isinstance(kernel, BSPSpec) else npb_spec(kernel, npb_class)
+        app = ParallelApp(
+            self.sim,
+            spec,
+            vms,
+            self._next_rng(),
+            procs_per_vm=procs_per_vm,
+            rounds=rounds,
+            warmup_rounds=warmup_rounds,
+        )
+        if rounds is None:
+            self.background.append(app)
+        else:
+            app.on_complete = self._app_complete
+            self.apps.append(app)
+        return app
+
+    def _app_complete(self, app: ParallelApp) -> None:
+        self._pending_apps -= 1
+        if self._pending_apps <= 0:
+            self.sim.stop()
+
+    def add_cpu_app(self, name: str, vm: VM) -> CpuApp:
+        app = CpuApp(self.sim, vm, CPU_APP_SPECS[name], self._next_rng())
+        self.background.append(app)
+        return app
+
+    def add_stream(self, vm: VM) -> StreamApp:
+        app = StreamApp(self.sim, vm, self._next_rng())
+        self.background.append(app)
+        return app
+
+    def add_bonnie(self, vm: VM) -> BonnieApp:
+        app = BonnieApp(self.sim, vm, self._next_rng())
+        self.background.append(app)
+        return app
+
+    def add_ping(self, vm: VM, peer_vm: VM, interval_ns: int = 10 * MSEC) -> PingApp:
+        app = PingApp(self.sim, vm, peer_vm, self._next_rng(), interval_ns=interval_ns)
+        self.background.append(app)
+        return app
+
+    def add_webserver(self, server_vm: VM, client_vm: VM, **kw) -> WebServerApp:
+        app = WebServerApp(self.sim, server_vm, client_vm, self._next_rng(), **kw)
+        self.background.append(app)
+        return app
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start VMM period ticks and all registered workloads."""
+        if self._started:
+            return
+        self._started = True
+        for vmm in self.vmms:
+            vmm.start()
+        self._pending_apps = len(self.apps)
+        for app in self.apps:
+            app.start()
+        for app in self.background:
+            app.start()
+
+    def run(self, horizon_ns: int = 60 * SEC) -> None:
+        """Run until every tracked app finished its rounds, or the horizon.
+
+        Call repeatedly to extend the horizon.
+        """
+        self.start()
+        self.sim.run(until=self.sim.now + horizon_ns)
+
+    @property
+    def all_apps_done(self) -> bool:
+        return all(a.finished for a in self.apps)

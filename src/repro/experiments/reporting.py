@@ -1,0 +1,58 @@
+"""Plain-text / CSV / Markdown tables for experiment output."""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_normalized", "to_csv", "to_markdown"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_normalized(results: Mapping[str, float], baseline: str = "CR", title: str = "") -> str:
+    """Render a {approach: time} map as normalized-vs-baseline rows."""
+    base = results[baseline]
+    rows = [(k, v / base) for k, v in results.items()]
+    return format_table(["approach", f"normalized vs {baseline}"], rows, title=title)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Serialize a result table as CSV (RFC-4180 quoting)."""
+    import csv
+
+    buf = io.StringIO()
+    w = csv.writer(buf, lineterminator="\n")
+    w.writerow(headers)
+    for row in rows:
+        w.writerow(row)
+    return buf.getvalue()
+
+
+def to_markdown(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Serialize a result table as a GitHub-flavoured Markdown table."""
+    cells = [[f"{c:.3f}" if isinstance(c, float) else str(c) for c in row] for row in rows]
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

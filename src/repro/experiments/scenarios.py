@@ -1,0 +1,426 @@
+"""Scenario builders: one function per paper experiment setup.
+
+Each builder constructs the paper's platform shape, runs it, and returns a
+plain dict of measurements.  The benchmark files in ``benchmarks/`` call
+these with scaled-down defaults (fewer nodes / rounds, same over-commit
+ratio) — see DESIGN.md §4; normalized execution time is a ratio, so the
+paper's *shapes* survive the scaling.
+
+Setups reproduced:
+
+* ``run_type_a`` — Section IV-B1 (Figs. 1, 10): N nodes, four identical
+  virtual clusters of one VM per node, all running the same NPB kernel.
+* ``run_slice_sweep`` — Section II-B / III-B (Figs. 5, 8): the static
+  time-slice sweep under CR, returning execution time, average spinlock
+  latency, LLC misses and context switches per slice.
+* ``run_small_mix`` — Section II-A2 (Figs. 2, 9): two nodes, three
+  2-VM virtual clusters plus two non-parallel VMs running bonnie++,
+  sphinx3, stream and ping.
+* ``run_type_b`` — Section IV-B2 (Fig. 11): the LLNL-trace virtual
+  cluster mix, every cluster running a random NPB kernel, batch mode.
+* ``run_type_b_mixed`` — Section IV-C (Figs. 12-14): type B placement
+  where independent VMs run a mix of NPB and non-parallel applications
+  (web server driven from a dedicated client node).
+* ``run_packet_path_probe`` — Fig. 4: per-hop timestamps of cross-VM
+  messages under load, splitting the four scheduling-wait overheads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.experiments.harness import CloudWorld, WorldConfig
+from repro.guest.process import recv_block, send
+from repro.metrics.collectors import cluster_stats
+from repro.metrics.summary import mean
+from repro.schedulers.base import SchedulerParams
+from repro.sim.rng import SimRNG
+from repro.sim.units import MSEC, SEC, ns_from_ms
+from repro.workloads.npb import NPB_NAMES, npb_spec
+from repro.workloads.traces import synthesize_vc_mix
+
+__all__ = [
+    "run_type_a",
+    "run_slice_sweep",
+    "run_small_mix",
+    "run_type_b",
+    "run_type_b_mixed",
+    "run_packet_path_probe",
+    "full_scale",
+]
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run paper-scale sweeps (slow)."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+# ----------------------------------------------------------------------
+def _world(
+    n_nodes: int,
+    scheduler: str,
+    seed: int,
+    uniform_slice_ns: Optional[int] = None,
+    sched_params: Optional[SchedulerParams] = None,
+    vcpus_per_vm: int = 8,
+    vms_per_node: int = 4,
+) -> CloudWorld:
+    return CloudWorld(
+        WorldConfig(
+            n_nodes=n_nodes,
+            vms_per_node=vms_per_node,
+            vcpus_per_vm=vcpus_per_vm,
+            scheduler=scheduler,
+            sched_params=sched_params,
+            uniform_slice_ns=uniform_slice_ns,
+            seed=seed,
+        )
+    )
+
+
+def run_type_a(
+    app_name: str,
+    scheduler: str,
+    n_nodes: int,
+    rounds: int = 2,
+    warmup_rounds: int = 1,
+    n_vclusters: int = 4,
+    npb_class: str = "B",
+    seed: int = 0,
+    vcpus_per_vm: int = 8,
+    horizon_s: float = 300.0,
+    sched_params: Optional[SchedulerParams] = None,
+) -> dict:
+    """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
+    one VM per node each, all running ``app_name``."""
+    world = _world(n_nodes, scheduler, seed, sched_params=sched_params, vcpus_per_vm=vcpus_per_vm)
+    apps = []
+    for k in range(n_vclusters):
+        vc = world.virtual_cluster(n_vms=n_nodes, name=f"vc{k}")
+        apps.append(
+            world.add_npb(app_name, vc.vms, rounds=rounds, warmup_rounds=warmup_rounds, npb_class=npb_class)
+        )
+    world.run(horizon_ns=round(horizon_s * SEC))
+    times = [t for a in apps for t in a.round_times]
+    spin = [vm.kernel.avg_spin_ns for vm in world.vms]
+    return {
+        "scheduler": scheduler,
+        "app": app_name,
+        "n_nodes": n_nodes,
+        "mean_round_ns": mean(times),
+        "rounds_measured": len(times),
+        "all_done": world.all_apps_done,
+        "avg_spin_ns": mean(spin),
+        "cluster": cluster_stats(world.cluster),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }
+
+
+def run_slice_sweep(
+    app_name: str,
+    slice_ms_values: Sequence[float],
+    n_nodes: int = 2,
+    rounds: int = 2,
+    warmup_rounds: int = 1,
+    n_vclusters: int = 4,
+    npb_class: str = "B",
+    seed: int = 0,
+    vcpus_per_vm: int = 8,
+    horizon_s: float = 300.0,
+) -> dict:
+    """Static slice sweep under CR (Figs. 5 and 8).
+
+    Paper setup: two nodes, four VMs per node forming four identical
+    two-VM virtual clusters.  Returns per-slice execution time, average
+    spinlock latency, LLC misses and context switches.
+    """
+    rows = []
+    for sm in slice_ms_values:
+        world = _world(
+            n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm), vcpus_per_vm=vcpus_per_vm
+        )
+        apps = []
+        for k in range(n_vclusters):
+            vc = world.virtual_cluster(n_vms=n_nodes, name=f"vc{k}")
+            apps.append(
+                world.add_npb(
+                    app_name, vc.vms, rounds=rounds, warmup_rounds=warmup_rounds, npb_class=npb_class
+                )
+            )
+        world.run(horizon_ns=round(horizon_s * SEC))
+        times = [t for a in apps for t in a.round_times]
+        stats = cluster_stats(world.cluster)
+        busy = max(1, stats["busy_ns"])
+        rows.append(
+            {
+                "slice_ms": sm,
+                "mean_round_ns": mean(times),
+                "avg_spin_ns": mean([vm.kernel.avg_spin_ns for vm in world.vms]),
+                "llc_misses": stats["llc_misses"],
+                "miss_rate_per_ms": stats["llc_misses"] / (busy / MSEC),
+                "context_switches": stats["context_switches"],
+                "all_done": world.all_apps_done,
+            }
+        )
+    return {"app": app_name, "npb_class": npb_class, "rows": rows}
+
+
+def run_small_mix(
+    scheduler: str,
+    seed: int = 0,
+    horizon_s: float = 8.0,
+    uniform_slice_ms: Optional[float] = None,
+    parallel_app: str = "lu",
+    atc_np_slice_ms: Optional[float] = None,
+    sched_params: Optional[SchedulerParams] = None,
+) -> dict:
+    """Section II-A2 platform (Figs. 2 and 9): two nodes, four VMs each;
+    three two-VM virtual clusters run ``parallel_app`` in the background,
+    the remaining two VMs host bonnie++, sphinx3, stream and ping.
+
+    ``uniform_slice_ms`` reproduces Fig. 9's static sweep (CR only);
+    ``atc_np_slice_ms`` sets the administrator slice for non-parallel VMs
+    under ATC (the ATC(6ms) variant of Section IV-C).
+    """
+    world = _world(
+        2,
+        scheduler,
+        seed,
+        uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
+        sched_params=sched_params,
+    )
+    bg_apps = []
+    for k in range(3):
+        vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")
+        bg_apps.append(world.add_npb(parallel_app, vc.vms, rounds=None, warmup_rounds=1))
+    np1 = world.new_vm(node_idx=0, name="np0")
+    np2 = world.new_vm(node_idx=1, name="np1")
+    if atc_np_slice_ms is not None:
+        np1.admin_slice_ns = ns_from_ms(atc_np_slice_ms)
+        np2.admin_slice_ns = ns_from_ms(atc_np_slice_ms)
+    if uniform_slice_ms is not None:
+        np1.slice_ns = ns_from_ms(uniform_slice_ms)
+        np2.slice_ns = ns_from_ms(uniform_slice_ms)
+    sphinx = world.add_cpu_app("sphinx3", np1)
+    stream = world.add_stream(np1)
+    bonnie = world.add_bonnie(np2)
+    ping = world.add_ping(np1, np2)
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return {
+        "scheduler": scheduler,
+        "uniform_slice_ms": uniform_slice_ms,
+        "sphinx3_mean_run_ns": sphinx.mean_run_ns,
+        "stream_bandwidth_Bps": stream.bandwidth_Bps,
+        "bonnie_throughput_Bps": bonnie.throughput_Bps,
+        "ping_mean_rtt_ns": ping.mean_rtt_ns,
+        "ping_samples": len(ping.rtts),
+        "parallel_mean_round_ns": mean([t for a in bg_apps for t in a.round_times]),
+    }
+
+
+def _scaled_vc_mix(world: CloudWorld, rng: SimRNG, reserve_vms: int = 0):
+    """Build a Table-I-distributed VC mix filling the world's capacity."""
+    total = world.config.n_nodes * world.config.vms_per_node - reserve_vms
+    return synthesize_vc_mix(
+        total, world.config.vcpus_per_vm, rng,
+        min_vcpus=2 * world.config.vcpus_per_vm,
+        max_vcpus=world.config.n_nodes * world.config.vcpus_per_vm,
+    )
+
+
+def run_type_b(
+    scheduler: str,
+    n_nodes: int = 8,
+    seed: int = 0,
+    horizon_s: float = 6.0,
+    sched_params: Optional[SchedulerParams] = None,
+) -> dict:
+    """Evaluation type B (Fig. 11): LLNL-trace virtual-cluster mix, every
+    cluster running a random NPB kernel repeatedly;
+    independent VMs run lu.B or is.B.  Per-VC mean round times returned."""
+    world = _world(n_nodes, scheduler, seed, sched_params=sched_params)
+    rng = world.rng.substream(999)
+    mix = _scaled_vc_mix(world, rng)
+    vc_apps = []
+    for i, size in enumerate(mix.cluster_sizes_vms):
+        vc = world.virtual_cluster(n_vms=size, name=f"VC{i + 1}")
+        app_name = rng.choice(NPB_NAMES)
+        vc_apps.append((vc, world.add_npb(app_name, vc.vms, rounds=None, warmup_rounds=1)))
+    indep_apps = []
+    for j in range(mix.independent_vms):
+        vm = world.new_vm(name=f"ind{j}")
+        app_name = rng.choice(["lu", "is"])
+        indep_apps.append(world.add_npb(app_name, [vm], rounds=None, warmup_rounds=1))
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return {
+        "scheduler": scheduler,
+        "n_nodes": n_nodes,
+        "vcs": [
+            {
+                "vc": vc.name,
+                "n_vms": vc.n_vms,
+                "app": app.spec.name,
+                "mean_round_ns": app.mean_round_ns,
+                "rounds": len(app.round_times),
+            }
+            for vc, app in vc_apps
+        ],
+        "independents": [
+            {"app": a.spec.name, "mean_round_ns": a.mean_round_ns, "rounds": len(a.round_times)}
+            for a in indep_apps
+        ],
+    }
+
+
+def run_type_b_mixed(
+    scheduler: str,
+    n_nodes: int = 8,
+    seed: int = 0,
+    horizon_s: float = 6.0,
+    atc_np_slice_ms: Optional[float] = None,
+    sched_params: Optional[SchedulerParams] = None,
+) -> dict:
+    """Section IV-C (Figs. 12-14): type B clusters plus independent VMs
+    running lu/is and the non-parallel suite.  One extra node hosts the
+    httperf client (the paper drives web load from separate machines)."""
+    world = _world(n_nodes + 1, scheduler, seed, sched_params=sched_params)
+    # keep the client node (last index) out of general placement
+    world._node_vm_load[n_nodes] = world.config.vms_per_node - 1
+    rng = world.rng.substream(999)
+
+    # Reserve independent slots for the non-parallel apps (5 VMs).
+    mix = _scaled_vc_mix(world, rng, reserve_vms=world.config.vms_per_node + 5)
+    vc_apps = []
+    for i, size in enumerate(mix.cluster_sizes_vms):
+        vc = world.virtual_cluster(n_vms=size, name=f"VC{i + 1}")
+        app_name = rng.choice(NPB_NAMES)
+        vc_apps.append((vc, world.add_npb(app_name, vc.vms, rounds=None, warmup_rounds=1)))
+
+    def np_vm(name):
+        vm = world.new_vm(name=name)
+        if atc_np_slice_ms is not None:
+            vm.admin_slice_ns = ns_from_ms(atc_np_slice_ms)
+        return vm
+
+    web_vm = np_vm("web")
+    cpu_vm = np_vm("speccpu")
+    stream_vm = np_vm("streamvm")
+    bonnie_vm = np_vm("bonnievm")
+    ping_vm = np_vm("pingvm")
+    client_vm = world.new_vm(node_idx=n_nodes, name="httperf-client")
+
+    webserver = world.add_webserver(web_vm, client_vm)
+    gcc = world.add_cpu_app("gcc", cpu_vm)
+    bzip2 = world.add_cpu_app("bzip2", cpu_vm)
+    sphinx = world.add_cpu_app("sphinx3", cpu_vm)
+    stream = world.add_stream(stream_vm)
+    bonnie = world.add_bonnie(bonnie_vm)
+    ping = world.add_ping(ping_vm, bonnie_vm)
+
+    # Remaining independent capacity runs lu/is, as in the paper.
+    indep_apps = []
+    j = 0
+    while sum(world._node_vm_load[:n_nodes]) < n_nodes * world.config.vms_per_node:
+        vm = world.new_vm(name=f"ind{j}")
+        indep_apps.append(world.add_npb(rng.choice(["lu", "is"]), [vm], rounds=None, warmup_rounds=1))
+        j += 1
+
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return {
+        "scheduler": scheduler,
+        "atc_np_slice_ms": atc_np_slice_ms,
+        "vcs": [
+            {
+                "vc": vc.name,
+                "n_vms": vc.n_vms,
+                "app": app.spec.name,
+                "mean_round_ns": app.mean_round_ns,
+                "rounds": len(app.round_times),
+            }
+            for vc, app in vc_apps
+        ],
+        "webserver_mean_response_ns": webserver.mean_response_ns,
+        "gcc_mean_run_ns": gcc.mean_run_ns,
+        "bzip2_mean_run_ns": bzip2.mean_run_ns,
+        "sphinx3_mean_run_ns": sphinx.mean_run_ns,
+        "stream_bandwidth_Bps": stream.bandwidth_Bps,
+        "bonnie_throughput_Bps": bonnie.throughput_Bps,
+        "ping_mean_rtt_ns": ping.mean_rtt_ns,
+        "independent_mean_round_ns": mean(
+            [t for a in indep_apps for t in a.round_times]
+        ),
+    }
+
+
+def run_packet_path_probe(
+    scheduler: str = "CR",
+    uniform_slice_ms: Optional[float] = None,
+    n_probes: int = 50,
+    seed: int = 0,
+    horizon_s: float = 30.0,
+    background_app: str = "lu",
+    sched_params: Optional[SchedulerParams] = None,
+) -> dict:
+    """Fig. 4: measure the four scheduling-wait overhead sources on the
+    cross-VM packet path while parallel load keeps the hosts busy.
+
+    Returns mean nanoseconds of: netback-tx wait (source 2), wire time,
+    netback-rx wait (source 3) and guest-consume wait (source 4).
+    (Source 1 — the sender's own wait to be scheduled — is folded into
+    inter-send gaps and reported as send interval jitter.)
+    """
+    world = _world(
+        2, scheduler, seed,
+        uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
+        sched_params=sched_params,
+    )
+    for k in range(3):
+        vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")
+        world.add_npb(background_app, vc.vms, rounds=None, warmup_rounds=1)
+    src = world.new_vm(node_idx=0, name="probe-src")
+    dst = world.new_vm(node_idx=1, name="probe-dst")
+    log: list = []
+    dst.kernel.packet_log = log
+
+    sender = src.kernel.add_process(cache_sensitivity=0.2)
+    receiver = dst.kernel.add_process(cache_sensitivity=0.2)
+
+    def send_prog():
+        from repro.guest.process import sleep as sleep_seg
+
+        for i in range(n_probes):
+            yield send(dst, receiver.index, 1024, tag=i)
+            yield sleep_seg(20 * MSEC)
+
+    def recv_prog():
+        while True:
+            yield recv_block(1)
+
+    sender.load_program(send_prog())
+    receiver.load_program(recv_prog())
+    world.background.append(_ProcPair(sender, receiver))
+    world.run(horizon_ns=round(horizon_s * SEC))
+
+    stamped = [p for p in log if p.t_consumed >= 0]
+    return {
+        "scheduler": scheduler,
+        "probes": len(stamped),
+        "mean_netback_tx_wait_ns": mean([p.t_netback_tx - p.t_send for p in stamped]),
+        "mean_wire_ns": mean([p.t_arrive - p.t_netback_tx for p in stamped]),
+        "mean_netback_rx_wait_ns": mean([p.t_delivered - p.t_arrive for p in stamped]),
+        "mean_consume_wait_ns": mean([p.t_consumed - p.t_delivered for p in stamped]),
+        "mean_end_to_end_ns": mean([p.t_consumed - p.t_send for p in stamped]),
+    }
+
+
+class _ProcPair:
+    """Adapter so raw processes can sit in ``world.background``."""
+
+    def __init__(self, *procs) -> None:
+        self.procs = procs
+
+    def start(self) -> None:
+        for p in self.procs:
+            p.start()

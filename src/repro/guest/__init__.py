@@ -1,0 +1,35 @@
+"""Guest layer: kernel, processes, spinlocks — including the spinlock
+latency monitor that feeds the ATC controller."""
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.process import (
+    GuestProcess,
+    Segment,
+    barrier,
+    call,
+    compute,
+    disk,
+    lock,
+    recv,
+    recv_block,
+    send,
+    sleep,
+)
+from repro.guest.spinlock import SpinBarrier, SpinLock
+
+__all__ = [
+    "GuestKernel",
+    "GuestProcess",
+    "Segment",
+    "SpinBarrier",
+    "SpinLock",
+    "barrier",
+    "call",
+    "compute",
+    "disk",
+    "lock",
+    "recv",
+    "recv_block",
+    "send",
+    "sleep",
+]

@@ -1,0 +1,99 @@
+"""Guest-kernel spinlocks and spin barriers, with lock-holder preemption.
+
+These primitives reproduce the synchronization behaviour the paper builds
+on (Section II-B1, Figure 3):
+
+* A ticket-style :class:`SpinLock`: waiters *spin* — their VCPU keeps
+  consuming PCPU time — and on release the lock is handed FIFO to the next
+  waiter.  If that waiter's VCPU is descheduled, the lock is now held by a
+  non-running VCPU: the classic LHP cascade that makes over-committed SMP
+  VMs slow.  A waiter only *proceeds* (and its spinlock latency is only
+  complete) when its VCPU actually runs again, so the Fig. 3 scenario —
+  spinlock latency = 3 time slices when the holder is preempted — falls
+  out of the model.
+
+* A :class:`SpinBarrier`: the BSP synchronization phase.  Arrival requires
+  taking the internal spinlock for a short critical section (incrementing
+  the arrival count), then spinning on the generation counter until the
+  last arrival flips it.  Both the lock wait and the generation wait are
+  recorded as spinlock latency by the guest kernel, which is exactly the
+  signal the paper's intrusive monitor exports to the VMM.
+
+The actual spinning/resumption mechanics live in
+:class:`repro.guest.process.GuestProcess`; these classes only hold the
+shared state and waiter queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.sim.units import USEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.process import GuestProcess
+
+__all__ = ["SpinLock", "SpinBarrier"]
+
+
+class SpinLock:
+    """FIFO (ticket-style) spinlock shared by processes of one VM."""
+
+    __slots__ = ("name", "holder", "waiters", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.holder: "GuestProcess | None" = None
+        self.waiters: deque["GuestProcess"] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, proc: "GuestProcess") -> bool:
+        """Try to take the lock.  Returns True if acquired immediately;
+        otherwise the caller is queued and must spin until granted."""
+        if self.holder is None:
+            self.holder = proc
+            self.acquisitions += 1
+            return True
+        if proc is self.holder:
+            raise RuntimeError(f"{self.name}: recursive acquire by {proc.name}")
+        self.waiters.append(proc)
+        self.contended_acquisitions += 1
+        return False
+
+    def release(self, proc: "GuestProcess") -> None:
+        """Release and hand off FIFO.  The new holder is notified; it
+        proceeds once its VCPU runs (ticket-lock LHP semantics)."""
+        if self.holder is not proc:
+            raise RuntimeError(
+                f"{self.name}: release by {proc.name} but holder is "
+                f"{self.holder.name if self.holder else None}"
+            )
+        if self.waiters:
+            nxt = self.waiters.popleft()
+            self.holder = nxt
+            self.acquisitions += 1
+            nxt._lock_granted(self)
+        else:
+            self.holder = None
+
+
+class SpinBarrier:
+    """Spinlock-protected arrival counter + generation spin (BSP barrier)."""
+
+    __slots__ = ("name", "n", "count", "generation", "lock", "gen_waiters", "hold_ns", "crossings")
+
+    def __init__(self, n: int, name: str = "barrier", hold_ns: int = 1 * USEC) -> None:
+        if n < 1:
+            raise ValueError(f"barrier size must be >= 1, got {n}")
+        self.name = name
+        self.n = n
+        self.count = 0
+        self.generation = 0
+        self.lock = SpinLock(f"{name}.lock")
+        self.gen_waiters: list["GuestProcess"] = []
+        #: Length of the critical section each arrival holds the lock for.
+        #: This is the window in which lock-holder preemption can strike.
+        self.hold_ns = hold_ns
+        self.crossings = 0

@@ -1,0 +1,8 @@
+"""Hypervisor layer: VMs, VCPUs, the per-node VMM, and the dom0 driver
+domain with the Fig. 4 split-driver network path."""
+
+from repro.hypervisor.dom0 import Dom0, Dom0Params, Packet
+from repro.hypervisor.vm import VCPU, VCPUState, VM
+from repro.hypervisor.vmm import VMM
+
+__all__ = ["Dom0", "Dom0Params", "Packet", "VCPU", "VCPUState", "VM", "VMM"]

@@ -1,0 +1,200 @@
+"""Virtual machines and virtual CPUs.
+
+A :class:`VCPU` is the schedulable entity: the VMM multiplexes VCPUs onto
+PCPUs.  Each VCPU carries a *runner* — the guest-side logic that actually
+executes when the VCPU holds a PCPU (a guest process via the 1:1 pinning of
+:mod:`repro.guest.kernel`, or a dom0 backend worker).
+
+Runner protocol (duck-typed)::
+
+    runner.on_dispatch(now, overhead_ns)  # VCPU started running; overhead_ns
+                                          # is context-switch + LLC refill
+                                          # cost to charge to current work
+    runner.on_preempt(now)                # VCPU involuntarily stopped
+    runner.cache_sensitivity              # float multiplier for LLC model
+
+Runners *voluntarily* stop by calling ``vcpu.block()`` (never from inside
+``on_dispatch`` — see the reentrancy note in :mod:`repro.hypervisor.vmm`).
+
+Scheduler bookkeeping fields (``credit``, ``prio``, ``rq`` …) live directly
+on the VCPU as plain slots to keep the hot path allocation-free; they are
+owned by whichever scheduler is installed on the node.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import PCPU, PhysicalNode
+
+__all__ = ["VCPUState", "VCPU", "VM"]
+
+
+class VCPUState(enum.IntEnum):
+    """Lifecycle of a VCPU, mirroring Xen's blocked/runnable/running."""
+
+    BLOCKED = 0
+    RUNNABLE = 1
+    RUNNING = 2
+
+
+class VCPU:
+    """One virtual CPU of a VM."""
+
+    __slots__ = (
+        "vm",
+        "index",
+        "state",
+        "runner",
+        "pcpu",
+        "rq",
+        "run_start_ns",
+        "total_run_ns",
+        "period_run_ns",
+        "period_wakes",
+        "wake_ns",
+        # scheduler-owned fields
+        "credit",
+        "prio",
+        "queued",
+    )
+
+    def __init__(self, vm: "VM", index: int) -> None:
+        self.vm = vm
+        self.index = index
+        self.state = VCPUState.BLOCKED
+        self.runner = None  # attached by the guest layer
+        self.pcpu: Optional["PCPU"] = None
+        self.rq: int = index % len(vm.node.pcpus)  # home run queue
+        self.run_start_ns = 0
+        self.total_run_ns = 0
+        self.period_run_ns = 0
+        self.period_wakes = 0
+        self.wake_ns = 0
+        self.credit = 0.0
+        self.prio = 1  # UNDER
+        self.queued = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.vm.name}.v{self.index}"
+
+    def wake(self) -> None:
+        """Make a blocked VCPU runnable (event-channel notification,
+        timer expiry, message arrival...).  No-op unless BLOCKED."""
+        if self.state is VCPUState.BLOCKED:
+            self.state = VCPUState.RUNNABLE
+            self.period_wakes += 1
+            self.wake_ns = self.vm.node.sim.now
+            self.vm.node.vmm.on_vcpu_wake(self)
+
+    def block(self) -> None:
+        """Voluntarily yield the PCPU and sleep until woken.
+
+        Must be called by the runner *while RUNNING*, from its own event
+        (never from inside ``on_dispatch``).
+        """
+        if self.state is not VCPUState.RUNNING:
+            raise RuntimeError(f"{self.name}: block() while {self.state.name}")
+        self.vm.node.vmm.vcpu_block(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VCPU {self.name} {self.state.name}>"
+
+
+class VM:
+    """A virtual machine: a set of VCPUs on one physical node.
+
+    ``is_parallel`` is the VM-type input of the paper's Algorithm 2 (the
+    administrator / cloud control plane knows which VMs belong to virtual
+    clusters running parallel applications).
+    """
+
+    __slots__ = (
+        "vmid",
+        "name",
+        "node",
+        "vcpus",
+        "is_parallel",
+        "is_dom0",
+        "weight",
+        "slice_ns",
+        "admin_slice_ns",
+        "kernel",
+        "llc_misses",
+        "llc_penalty_ns",
+        "period_io_events",
+        "total_io_events",
+        "period_queue_wait_ns",
+        "period_queue_waits",
+    )
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        node: "PhysicalNode",
+        n_vcpus: int,
+        name: str | None = None,
+        is_parallel: bool = False,
+        is_dom0: bool = False,
+        weight: float = 1.0,
+    ) -> None:
+        self.vmid = VM._next_id
+        VM._next_id += 1
+        self.name = name or f"vm{self.vmid}"
+        self.node = node
+        self.is_parallel = is_parallel
+        self.is_dom0 = is_dom0
+        self.weight = weight
+        self.vcpus = [VCPU(self, i) for i in range(n_vcpus)]
+        #: Current scheduler time slice for this VM (ns); set by the
+        #: scheduler / ATC controller.  ``None`` means scheduler default.
+        self.slice_ns: Optional[int] = None
+        #: Administrator-specified slice for non-parallel VMs (Algorithm 2's
+        #: flexibility interface); ``None`` = use VMM default.
+        self.admin_slice_ns: Optional[int] = None
+        self.kernel = None  # attached by repro.guest.kernel.GuestKernel
+        self.llc_misses = 0
+        self.llc_penalty_ns = 0
+        self.period_io_events = 0
+        self.total_io_events = 0
+        #: Run-queue wait accounting (RUNNABLE -> RUNNING latency), kept by
+        #: the VMM.  This is the *non-intrusive* synchronization-pressure
+        #: signal of the paper's future work: observable without guest
+        #: instrumentation.
+        self.period_queue_wait_ns = 0
+        self.period_queue_waits = 0
+
+    # ------------------------------------------------------------------
+    def count_io_event(self, n: int = 1) -> None:
+        """DSS observes per-VM I/O behaviour through this counter."""
+        self.period_io_events += n
+        self.total_io_events += n
+
+    def drain_period_io(self) -> int:
+        n = self.period_io_events
+        self.period_io_events = 0
+        return n
+
+    def drain_period_queue_wait(self) -> tuple[int, int]:
+        """(total run-queue wait ns, dispatch count) this period; resets."""
+        stats = (self.period_queue_wait_ns, self.period_queue_waits)
+        self.period_queue_wait_ns = 0
+        self.period_queue_waits = 0
+        return stats
+
+    def deliver(self, packet) -> None:
+        """Final step of the Fig. 4 receive path: dom0 copied the packet to
+        this VM's I/O ring and signalled its event channel."""
+        if self.kernel is None:
+            raise RuntimeError(f"{self.name}: packet delivered but no guest kernel")
+        self.count_io_event()  # netfront receive is I/O activity (DSS input)
+        self.kernel.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dom0" if self.is_dom0 else ("par" if self.is_parallel else "np")
+        return f"<VM {self.name} {kind} vcpus={len(self.vcpus)} node={self.node.index}>"

@@ -1,0 +1,199 @@
+"""The per-node virtual machine monitor: dispatch machinery.
+
+One :class:`VMM` runs on each physical node.  It owns the node's VMs
+(including dom0), drives the installed scheduler, and performs the actual
+PCPU context switches: charging the direct switch cost and the LLC refill
+penalty (:mod:`repro.cluster.cache`), arming the slice timer, and notifying
+runners.
+
+Reentrancy contract
+-------------------
+``dispatch`` calls ``runner.on_dispatch``; runners must never synchronously
+call back into ``vcpu.block()`` / ``wake`` chains that re-enter dispatch on
+the same PCPU.  Guest processes honour this by resolving state changes in
+zero-delay follow-up events (see :mod:`repro.guest.process`).  The VMM
+itself only re-enters ``dispatch`` after fully unwinding the previous
+PCPU transaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.hypervisor.vm import VCPU, VCPUState, VM
+from repro.sim.units import MSEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import PCPU, PhysicalNode
+    from repro.sim.engine import Simulator
+
+__all__ = ["VMM"]
+
+
+class VMM:
+    """Hypervisor instance for one physical node."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "scheduler",
+        "vms",
+        "dom0",
+        "period_ns",
+        "_period_started",
+        "period_hooks",
+        "total_context_switches",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "PhysicalNode",
+        scheduler_factory: Callable[["VMM"], object],
+        period_ns: int = 30 * MSEC,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        node.vmm = self
+        self.vms: list[VM] = []
+        self.dom0 = None  # set by repro.hypervisor.dom0.Dom0
+        self.period_ns = period_ns
+        self._period_started = False
+        #: Extra callables invoked each scheduling period *after* the
+        #: scheduler's own accounting (ATC controller, CS trigger, ...).
+        self.period_hooks: list[Callable[[int], None]] = []
+        self.total_context_switches = 0
+        self.scheduler = scheduler_factory(self)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_vm(self, vm: VM) -> None:
+        if vm.node is not self.node:
+            raise ValueError(f"{vm.name} belongs to node {vm.node.index}, not {self.node.index}")
+        self.vms.append(vm)
+
+    def start(self) -> None:
+        """Begin periodic scheduler accounting.  Idempotent."""
+        if not self._period_started:
+            self._period_started = True
+            self.sim.after(self.period_ns, self._period_tick)
+
+    def _period_tick(self) -> None:
+        now = self.sim.now
+        self.scheduler.on_period(now)
+        for hook in self.period_hooks:
+            hook(now)
+        self.sim.after(self.period_ns, self._period_tick)
+
+    # ------------------------------------------------------------------
+    # Dispatch transactions
+    # ------------------------------------------------------------------
+    def dispatch(self, pcpu: "PCPU") -> None:
+        """Pick the next VCPU for an idle PCPU and start it."""
+        if pcpu.current is not None:
+            raise RuntimeError(f"dispatch on busy PCPU {pcpu!r}")
+        picked = self.scheduler.pick_next(pcpu)
+        if picked is None:
+            pcpu.idle_since_ns = self.sim.now
+            return
+        vcpu, slice_ns = picked
+        if vcpu.state is not VCPUState.RUNNABLE:
+            raise RuntimeError(f"picked {vcpu.name} in state {vcpu.state.name}")
+        now = self.sim.now
+        # Non-intrusive monitoring signal: how long the VCPU sat runnable.
+        vcpu.vm.period_queue_wait_ns += now - vcpu.wake_ns
+        vcpu.vm.period_queue_waits += 1
+        vcpu.state = VCPUState.RUNNING
+        vcpu.pcpu = pcpu
+        vcpu.rq = pcpu.index
+        vcpu.run_start_ns = now
+        pcpu.current = vcpu
+        pcpu.run_start_ns = now
+
+        runner = vcpu.runner
+        sens = getattr(runner, "cache_sensitivity", 1.0)
+        switched = pcpu.cache.last_key is not vcpu
+        penalty, misses = pcpu.cache.on_dispatch(now, vcpu, sens)
+        overhead = 0
+        if switched:
+            pcpu.context_switches += 1
+            self.total_context_switches += 1
+            overhead = self.node.params.ctx_switch_ns + penalty
+            vcpu.vm.llc_misses += misses
+            vcpu.vm.llc_penalty_ns += penalty
+
+        pcpu.slice_end_ev = self.sim.after(slice_ns, lambda p=pcpu: self._on_slice_end(p))
+        if runner is not None:
+            runner.on_dispatch(now, overhead)
+
+    def _stop_current(self, pcpu: "PCPU", next_state: VCPUState) -> VCPU:
+        """Common tail of every deschedule path: accounting + cache."""
+        vcpu = pcpu.current
+        now = self.sim.now
+        if pcpu.slice_end_ev is not None:
+            pcpu.slice_end_ev.cancel()
+            pcpu.slice_end_ev = None
+        ran = now - vcpu.run_start_ns
+        vcpu.total_run_ns += ran
+        vcpu.period_run_ns += ran
+        pcpu.busy_ns += ran
+        pcpu.cache.on_undispatch(now, vcpu)
+        vcpu.state = next_state
+        if next_state is VCPUState.RUNNABLE:
+            vcpu.wake_ns = now  # run-queue wait starts now
+        vcpu.pcpu = None
+        pcpu.current = None
+        return vcpu
+
+    def _on_slice_end(self, pcpu: "PCPU") -> None:
+        vcpu = pcpu.current
+        if vcpu is None:  # pragma: no cover - cancelled races are defensive
+            return
+        pcpu.slice_end_ev = None
+        vcpu.runner.on_preempt(self.sim.now)
+        self._stop_current(pcpu, VCPUState.RUNNABLE)
+        self.scheduler.on_slice_expired(vcpu)
+        self.dispatch(pcpu)
+
+    def vcpu_block(self, vcpu: VCPU) -> None:
+        """Voluntary block of the currently running VCPU (from its runner)."""
+        pcpu = vcpu.pcpu
+        if pcpu is None or pcpu.current is not vcpu:
+            raise RuntimeError(f"block of non-running {vcpu.name}")
+        self._stop_current(pcpu, VCPUState.BLOCKED)
+        self.scheduler.on_block(vcpu)
+        self.dispatch(pcpu)
+
+    def preempt(self, pcpu: "PCPU") -> None:
+        """Involuntarily deschedule whatever runs on ``pcpu`` and re-pick.
+
+        Used for wake-time boost preemption (Credit) and co-scheduling
+        (CS).  The descheduled VCPU is returned to the run queues.
+        """
+        if pcpu.current is None:
+            self.dispatch(pcpu)
+            return
+        vcpu = pcpu.current
+        vcpu.runner.on_preempt(self.sim.now)
+        self._stop_current(pcpu, VCPUState.RUNNABLE)
+        self.scheduler.on_preempted(vcpu)
+        self.dispatch(pcpu)
+
+    def on_vcpu_wake(self, vcpu: VCPU) -> None:
+        """A blocked VCPU became runnable; let the scheduler place it."""
+        self.scheduler.on_wake(vcpu)
+
+    def kick(self, pcpu: "PCPU") -> None:
+        """Dispatch ``pcpu`` if idle (used by schedulers after queueing)."""
+        if pcpu.current is None:
+            self.dispatch(pcpu)
+
+    # ------------------------------------------------------------------
+    @property
+    def guest_vms(self) -> list[VM]:
+        """All VMs except dom0."""
+        return [vm for vm in self.vms if not vm.is_dom0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VMM node={self.node.index} vms={len(self.vms)}>"

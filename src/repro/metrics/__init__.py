@@ -1,0 +1,15 @@
+"""Metric collection and summaries (normalized execution time, Pearson)."""
+
+from repro.metrics.collectors import cluster_stats, node_stats, vm_stats
+from repro.metrics.summary import geomean, mean, normalize_map, normalized, pearson
+
+__all__ = [
+    "cluster_stats",
+    "node_stats",
+    "vm_stats",
+    "geomean",
+    "mean",
+    "normalize_map",
+    "normalized",
+    "pearson",
+]

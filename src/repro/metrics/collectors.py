@@ -1,0 +1,62 @@
+"""Aggregation of the instrumentation scattered through the simulation.
+
+Most counters live on the objects that own them (guest kernels hold spin
+latency, PCPUs hold context switches and LLC misses, apps hold round
+times).  These helpers roll them up per VM / node / world for reporting —
+the analog of reading Xenoprof and the paper's in-kernel monitor after a
+run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import Cluster
+    from repro.hypervisor.vm import VM
+
+__all__ = ["vm_stats", "node_stats", "cluster_stats"]
+
+
+def vm_stats(vm: "VM") -> dict:
+    """Per-VM counters: spin latency, LLC misses, CPU time, I/O events."""
+    k = vm.kernel
+    return {
+        "vm": vm.name,
+        "is_parallel": vm.is_parallel,
+        "cpu_ns": sum(v.total_run_ns for v in vm.vcpus),
+        "llc_misses": vm.llc_misses,
+        "llc_penalty_ns": vm.llc_penalty_ns,
+        "io_events": vm.total_io_events,
+        "spin_total_ns": k.total_spin_ns if k else 0,
+        "spin_waits": k.total_spin_count if k else 0,
+        "avg_spin_ns": k.avg_spin_ns if k else 0.0,
+        "spin_by_kind": dict(k.spin_by_kind) if k else {},
+    }
+
+
+def node_stats(node) -> dict:
+    """Per-node counters: context switches, busy time, cache totals."""
+    return {
+        "node": node.index,
+        "context_switches": sum(p.context_switches for p in node.pcpus),
+        "busy_ns": sum(p.busy_ns for p in node.pcpus),
+        "llc_misses": sum(p.cache.total_miss_count for p in node.pcpus),
+        "llc_penalty_ns": sum(p.cache.total_penalty_ns for p in node.pcpus),
+        "disk_requests": node.disk.requests,
+        "disk_bytes": node.disk.bytes_moved,
+    }
+
+
+def cluster_stats(cluster: "Cluster") -> dict:
+    """Whole-cluster rollup, including fabric traffic."""
+    nodes = [node_stats(n) for n in cluster.nodes]
+    return {
+        "n_nodes": len(cluster.nodes),
+        "context_switches": sum(n["context_switches"] for n in nodes),
+        "busy_ns": sum(n["busy_ns"] for n in nodes),
+        "llc_misses": sum(n["llc_misses"] for n in nodes),
+        "messages_sent": cluster.fabric.messages_sent,
+        "bytes_sent": cluster.fabric.bytes_sent,
+        "nodes": nodes,
+    }

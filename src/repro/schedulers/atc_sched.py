@@ -1,0 +1,44 @@
+"""ATC scheduler: Credit dispatching + the adaptive time-slice controller.
+
+The paper implements ATC *on top of* Xen's credit scheduler: dispatching,
+priorities, boosting and load balancing are unchanged; only the per-VM
+time slice is recomputed at every scheduling period by Algorithms 1 and 2
+(:mod:`repro.core`).  This class is therefore a thin composition: a
+:class:`~repro.schedulers.credit.CreditScheduler` whose ``slice_for``
+honours the per-VM ``slice_ns`` that the attached
+:class:`~repro.core.controller.ATCController` maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import ATCConfig
+from repro.core.controller import ATCController
+from repro.schedulers.credit import CreditParams, CreditScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vmm import VMM
+
+__all__ = ["ATCParams", "ATCScheduler"]
+
+
+@dataclass(frozen=True)
+class ATCParams(CreditParams):
+    """Credit parameters + the ATC control-law configuration."""
+
+    atc: ATCConfig = field(default_factory=ATCConfig)
+    #: Record per-period monitor/slice series for experiment reporting.
+    record_series: bool = False
+
+
+class ATCScheduler(CreditScheduler):
+    """Credit scheduler under adaptive time-slice control."""
+
+    name = "ATC"
+
+    def __init__(self, vmm: "VMM", params: ATCParams | None = None) -> None:
+        p = params or ATCParams()
+        super().__init__(vmm, p)
+        self.controller = ATCController(vmm, p.atc, record_series=p.record_series)

@@ -1,0 +1,81 @@
+"""Balance Scheduling (BS) — sibling VCPUs in distinct PCPU run queues.
+
+Model of Sukwong & Kim's balance scheduling [4]: a probabilistic variant
+of co-scheduling that never gangs explicitly; it only guarantees that no
+two VCPUs of the same VM sit in the same PCPU run queue, which raises the
+*probability* that siblings run concurrently.  As the paper observes, the
+benefit shrinks as the virtual cluster spans more hosts (Fig. 10): the
+placement constraint is per-host while the synchronization is global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.schedulers.credit import CreditParams, CreditScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import PCPU
+    from repro.hypervisor.vm import VCPU
+
+__all__ = ["BalanceParams", "BalanceScheduler"]
+
+
+@dataclass(frozen=True)
+class BalanceParams(CreditParams):
+    pass
+
+
+class BalanceScheduler(CreditScheduler):
+    """Credit + sibling-disjoint run-queue placement."""
+
+    name = "BS"
+
+    def _queue_has_sibling(self, qi: int, vcpu: "VCPU") -> bool:
+        vm = vcpu.vm
+        pcpu = self.vmm.node.pcpus[qi]
+        if pcpu.current is not None and pcpu.current.vm is vm:
+            return True
+        return any(v.vm is vm for v in self.runqs[qi])
+
+    def choose_wake_queue(self, vcpu: "VCPU") -> int:
+        # Idle PCPU without a queued sibling is ideal.
+        pcpus = self.vmm.node.pcpus
+        for p in pcpus:
+            if p.current is None and not any(v.vm is vcpu.vm for v in self.runqs[p.index]):
+                return p.index
+        # Otherwise the least-loaded sibling-free queue.
+        candidates = [i for i in range(len(self.runqs)) if not self._queue_has_sibling(i, vcpu)]
+        if candidates:
+            return min(candidates, key=lambda i: len(self.runqs[i]))
+        # No sibling-free queue exists (more VCPUs than PCPUs): fall back.
+        return super().choose_wake_queue(vcpu)
+
+    def _steal(self, pcpu: "PCPU") -> Optional["VCPU"]:
+        """Steal only VCPUs whose VM has no sibling on this PCPU's queue."""
+        best_q = None
+        best_len = 0
+        for i, q in enumerate(self.runqs):
+            if i != pcpu.index and len(q) > best_len:
+                best_q, best_len = q, len(q)
+        if best_q is None:
+            return None
+        for i, v in enumerate(best_q):
+            if not self._queue_has_sibling(pcpu.index, v):
+                del best_q[i]
+                v.queued = False
+                v.rq = pcpu.index
+                return v
+        return None
+
+    def on_slice_expired(self, vcpu: "VCPU") -> None:
+        # Re-balance on requeue too: the home queue may have acquired a
+        # sibling since the VCPU last ran.
+        if self._queue_has_sibling(vcpu.rq, vcpu):
+            candidates = [
+                i for i in range(len(self.runqs)) if not self._queue_has_sibling(i, vcpu)
+            ]
+            if candidates:
+                vcpu.rq = min(candidates, key=lambda i: len(self.runqs[i]))
+        super().on_slice_expired(vcpu)

@@ -1,0 +1,79 @@
+"""Scheduler protocol.
+
+A scheduler instance is installed per node (as in Xen) and owns the node's
+run queues.  The VMM calls into it at every scheduling decision point; the
+scheduler calls back ``vmm.kick`` / ``vmm.preempt`` to effect placement
+decisions.
+
+Priorities follow Xen's credit scheduler convention: numerically lower
+runs first (BOOST < UNDER < OVER).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import MSEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import PCPU
+    from repro.hypervisor.vm import VCPU, VM
+    from repro.hypervisor.vmm import VMM
+
+__all__ = ["PRIO_BOOST", "PRIO_UNDER", "PRIO_OVER", "SchedulerParams", "Scheduler"]
+
+PRIO_BOOST = 0
+PRIO_UNDER = 1
+PRIO_OVER = 2
+
+
+@dataclass(frozen=True)
+class SchedulerParams:
+    """Parameters common to every scheduler model."""
+
+    #: Default time slice (Xen credit default: 30 ms).
+    slice_ns: int = 30 * MSEC
+    #: Enable wake-time BOOST priority (credit-family schedulers).
+    boost: bool = True
+
+
+class Scheduler(abc.ABC):
+    """Abstract per-node scheduler."""
+
+    def __init__(self, vmm: "VMM", params: SchedulerParams | None = None) -> None:
+        self.vmm = vmm
+        self.params = params or SchedulerParams()
+
+    # -- queue events ----------------------------------------------------
+    @abc.abstractmethod
+    def on_wake(self, vcpu: "VCPU") -> None:
+        """A blocked VCPU became runnable; place (and maybe preempt)."""
+
+    @abc.abstractmethod
+    def pick_next(self, pcpu: "PCPU") -> Optional[tuple["VCPU", int]]:
+        """Choose the next VCPU and its slice for an idle PCPU."""
+
+    @abc.abstractmethod
+    def on_slice_expired(self, vcpu: "VCPU") -> None:
+        """A VCPU consumed its full slice; requeue it."""
+
+    @abc.abstractmethod
+    def on_preempted(self, vcpu: "VCPU") -> None:
+        """A VCPU was involuntarily descheduled mid-slice; requeue it."""
+
+    def on_block(self, vcpu: "VCPU") -> None:
+        """A running VCPU blocked voluntarily (default: nothing to do)."""
+
+    # -- periodic accounting ----------------------------------------------
+    def on_period(self, now: int) -> None:
+        """Called once per VMM scheduling period (default: nothing)."""
+
+    # -- policy ------------------------------------------------------------
+    def slice_for(self, vcpu: "VCPU") -> int:
+        """Time slice for a VCPU: per-VM override or scheduler default."""
+        vm: "VM" = vcpu.vm
+        if vm.slice_ns is not None:
+            return vm.slice_ns
+        return self.params.slice_ns

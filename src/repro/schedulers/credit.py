@@ -1,0 +1,258 @@
+"""Xen's Credit scheduler (CR) — the paper's baseline.
+
+Behavioural model of the classic credit scheduler:
+
+* per-PCPU run queues; a VCPU has a home queue (where it last ran);
+* three priorities: BOOST (just woken, still in credit), UNDER (credit
+  left), OVER (credit exhausted); lower runs first, FIFO within a class;
+* wake placement prefers an idle PCPU, then the least-loaded queue, and a
+  BOOST wake preempts a lower-priority running VCPU — this is what gives
+  I/O-blocked domains (dom0, ping, web servers) low latency under CR;
+* work stealing: a PCPU whose queue is empty pulls the best runnable VCPU
+  from its busiest sibling queue;
+* per-period proportional-share credit accounting by VM weight.
+
+The default time slice is 30 ms, the value the paper identifies as the
+root cause of parallel-application slowdown in over-committed clouds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import MSEC
+
+from repro.schedulers.base import (
+    PRIO_BOOST,
+    PRIO_OVER,
+    PRIO_UNDER,
+    Scheduler,
+    SchedulerParams,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import PCPU
+    from repro.hypervisor.vm import VCPU
+    from repro.hypervisor.vmm import VMM
+
+__all__ = ["CreditParams", "CreditScheduler"]
+
+
+@dataclass(frozen=True)
+class CreditParams(SchedulerParams):
+    """Credit-scheduler tunables."""
+
+    #: Credit clamp, as a multiple of (period * n_pcpus).
+    credit_cap_periods: float = 1.0
+    #: Xen's ``sched_ratelimit_us`` (default 1000 us): a running VCPU may
+    #: not be preempted by a wake until it has run at least this long.
+    #: This is what makes wake latency depend on slice length for short
+    #: slices (slice end arrives before the ratelimit allows preemption).
+    ratelimit_ns: int = 1 * MSEC
+    #: Xen's accounting tick (10 ms): BOOST priority only protects a
+    #: running VCPU until the next tick; after that it is treated at its
+    #: credit priority, so later boosted wakes can preempt it.
+    tick_ns: int = 10 * MSEC
+
+
+class CreditScheduler(Scheduler):
+    """Xen Credit scheduler model."""
+
+    name = "CR"
+
+    def __init__(self, vmm: "VMM", params: CreditParams | None = None) -> None:
+        super().__init__(vmm, params or CreditParams())
+        self.runqs: list[deque] = [deque() for _ in vmm.node.pcpus]
+        # Introspection counters (analysis/debugging; no behavioural role).
+        self.stat_wake_preemptions = 0
+        self.stat_deferred_tickles = 0
+        self.stat_steals = 0
+        self.stat_boost_wakes = 0
+
+    # ------------------------------------------------------------------
+    # Placement / wake
+    # ------------------------------------------------------------------
+    def _effective_credit(self, vcpu: "VCPU") -> float:
+        """Credit net of what the VCPU already consumed this period (Xen
+        debits at every 10 ms tick; CPU-hungry VCPUs go OVER mid-period
+        and lose BOOST eligibility — this is why spinning parallel VMs
+        wait full run-queue rotations while idle-ish latency-sensitive
+        VMs keep preempting promptly)."""
+        return vcpu.credit - vcpu.period_run_ns
+
+    def _wake_prio(self, vcpu: "VCPU") -> int:
+        if self._effective_credit(vcpu) > 0:
+            return PRIO_BOOST if self.params.boost else PRIO_UNDER
+        return PRIO_OVER
+
+    def choose_wake_queue(self, vcpu: "VCPU") -> int:
+        """Queue index for a waking VCPU (overridden by Balance Scheduling)."""
+        pcpus = self.vmm.node.pcpus
+        for p in pcpus:
+            if p.current is None:
+                return p.index
+        # least loaded; prefer the home queue on ties (cache affinity)
+        home = vcpu.rq
+        best = home
+        best_load = len(self.runqs[home])
+        for i, q in enumerate(self.runqs):
+            if len(q) < best_load:
+                best = i
+                best_load = len(q)
+        return best
+
+    def on_wake(self, vcpu: "VCPU") -> None:
+        vcpu.prio = self._wake_prio(vcpu)
+        if vcpu.prio == PRIO_BOOST:
+            self.stat_boost_wakes += 1
+        qi = self.choose_wake_queue(vcpu)
+        vcpu.rq = qi
+        self.runqs[qi].append(vcpu)
+        vcpu.queued = True
+        pcpu = self.vmm.node.pcpus[qi]
+        if pcpu.current is None:
+            self.vmm.kick(pcpu)
+            return
+        now = self.vmm.sim.now
+        cur = pcpu.current
+        start = pcpu.run_start_ns
+        running_prio = self._running_prio(pcpu)
+        if vcpu.prio < running_prio and self._may_preempt(vcpu, pcpu):
+            if now - start >= self.params.ratelimit_ns:
+                self.stat_wake_preemptions += 1
+                self.vmm.preempt(pcpu)
+            else:
+                self.stat_deferred_tickles += 1
+                # Xen sched_ratelimit: defer the tickle until the current
+                # VCPU has had its minimum run.
+                self.vmm.sim.at(
+                    start + self.params.ratelimit_ns,
+                    lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
+                )
+        elif (
+            running_prio == PRIO_BOOST
+            and vcpu.prio < self._credit_prio(cur)
+            and self._may_preempt(vcpu, pcpu)
+        ):
+            # The current VCPU is protected (BOOST, or a co-scheduled gang
+            # member) — but only until the next global tick: re-evaluate
+            # the tickle then.
+            tick = self.params.tick_ns
+            next_tick = (now // tick + 1) * tick
+            self.vmm.sim.at(
+                max(next_tick, start + self.params.ratelimit_ns),
+                lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
+            )
+
+    def _may_preempt(self, vcpu: "VCPU", pcpu: "PCPU") -> bool:
+        """Policy hook: may a waking ``vcpu`` preempt ``pcpu``'s current?
+        (Co-scheduling denies this for ganged VCPUs.)"""
+        return True
+
+    def _running_prio(self, pcpu: "PCPU") -> int:
+        """Effective priority of the running VCPU for preemption checks:
+        BOOST protection lapses after one accounting tick (Xen deboosts
+        at the next tick), so a long-running boosted VCPU is judged at
+        its credit priority."""
+        cur = pcpu.current
+        prio = cur.prio
+        if prio == PRIO_BOOST:
+            # Deboost at the next *global* tick after dispatch (Xen's
+            # periodic timer, not a per-dispatch countdown).
+            tick = self.params.tick_ns
+            if self.vmm.sim.now // tick > pcpu.run_start_ns // tick:
+                prio = self._credit_prio(cur)
+        return prio
+
+    def _ratelimit_fire(self, pcpu: "PCPU", expected: "VCPU", run_start: int) -> None:
+        """Deferred wake preemption: still valid only if the same dispatch
+        is in place and a higher-priority VCPU is actually waiting."""
+        cur = pcpu.current
+        if cur is not expected or pcpu.run_start_ns != run_start:
+            return
+        best = min((v.prio for v in self.runqs[pcpu.index]), default=None)
+        if best is not None and best < self._running_prio(pcpu) and self._may_preempt_queued(pcpu):
+            self.vmm.preempt(pcpu)
+
+    def _may_preempt_queued(self, pcpu: "PCPU") -> bool:
+        return self._may_preempt(None, pcpu)
+
+    # ------------------------------------------------------------------
+    # Picking
+    # ------------------------------------------------------------------
+    def _pop_best(self, q: deque) -> Optional["VCPU"]:
+        if not q:
+            return None
+        best_i = 0
+        best_prio = q[0].prio
+        if best_prio != PRIO_BOOST:
+            for i in range(1, len(q)):
+                p = q[i].prio
+                if p < best_prio:
+                    best_i, best_prio = i, p
+                    if p == PRIO_BOOST:
+                        break
+        vcpu = q[best_i]
+        del q[best_i]
+        vcpu.queued = False
+        return vcpu
+
+    def _steal(self, pcpu: "PCPU") -> Optional["VCPU"]:
+        """Pull the best candidate from the busiest sibling queue."""
+        best_q = None
+        best_len = 0
+        for i, q in enumerate(self.runqs):
+            if i != pcpu.index and len(q) > best_len:
+                best_q, best_len = q, len(q)
+        if best_q is None:
+            return None
+        vcpu = self._pop_best(best_q)
+        if vcpu is not None:
+            self.stat_steals += 1
+            vcpu.rq = pcpu.index
+        return vcpu
+
+    def pick_next(self, pcpu: "PCPU") -> Optional[tuple["VCPU", int]]:
+        vcpu = self._pop_best(self.runqs[pcpu.index])
+        if vcpu is None:
+            vcpu = self._steal(pcpu)
+        if vcpu is None:
+            return None
+        return vcpu, self.slice_for(vcpu)
+
+    # ------------------------------------------------------------------
+    # Requeue paths
+    # ------------------------------------------------------------------
+    def _credit_prio(self, vcpu: "VCPU") -> int:
+        return PRIO_UNDER if self._effective_credit(vcpu) > 0 else PRIO_OVER
+
+    def on_slice_expired(self, vcpu: "VCPU") -> None:
+        vcpu.prio = self._credit_prio(vcpu)  # full slice used: boost expires
+        self.runqs[vcpu.rq].append(vcpu)
+        vcpu.queued = True
+
+    def on_preempted(self, vcpu: "VCPU") -> None:
+        # Preempted mid-slice: keep priority, go back near the front so the
+        # remaining entitlement is honoured soon.
+        self.runqs[vcpu.rq].appendleft(vcpu)
+        vcpu.queued = True
+
+    # ------------------------------------------------------------------
+    # Periodic credit accounting
+    # ------------------------------------------------------------------
+    def on_period(self, now: int) -> None:
+        vmm = self.vmm
+        period = vmm.period_ns
+        capacity = period * len(vmm.node.pcpus)
+        vcpus = [v for vm in vmm.vms for v in vm.vcpus]
+        active = {id(v) for v in vcpus if v.state.value != 0 or v.period_run_ns > 0}
+        total_w = sum(v.vm.weight for v in vcpus if id(v) in active) or 1.0
+        cap = self.params.credit_cap_periods * capacity
+        for v in vcpus:
+            share = capacity * (v.vm.weight / total_w) if id(v) in active else 0.0
+            v.credit = min(cap, max(-cap, v.credit + share - v.period_run_ns))
+            v.period_run_ns = 0
+            if v.queued and v.prio != PRIO_BOOST:
+                v.prio = self._credit_prio(v)

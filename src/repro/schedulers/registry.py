@@ -1,0 +1,61 @@
+"""Scheduler registry: the paper's approach names → factories.
+
+``make_scheduler_factory("ATC")`` returns a callable suitable for
+:class:`repro.hypervisor.vmm.VMM`'s ``scheduler_factory`` argument, so
+experiment harnesses can be driven by the scheduler's short name exactly
+as the figures label them (CR, CS, BS, DSS, VS, ATC).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.schedulers.atc_sched import ATCParams, ATCScheduler
+from repro.schedulers.balance import BalanceParams, BalanceScheduler
+from repro.schedulers.base import Scheduler, SchedulerParams
+from repro.schedulers.coschedule import CoScheduleParams, CoScheduler
+from repro.schedulers.credit import CreditParams, CreditScheduler
+from repro.schedulers.dss import DSSParams, DSSScheduler
+from repro.schedulers.vslicer import VSlicerParams, VSlicerScheduler
+
+__all__ = ["SCHEDULERS", "DEFAULT_PARAMS", "make_scheduler_factory", "scheduler_names"]
+
+SCHEDULERS: dict[str, Type[Scheduler]] = {
+    "CR": CreditScheduler,
+    "CS": CoScheduler,
+    "BS": BalanceScheduler,
+    "DSS": DSSScheduler,
+    "VS": VSlicerScheduler,
+    "ATC": ATCScheduler,
+}
+
+DEFAULT_PARAMS: dict[str, Type[SchedulerParams]] = {
+    "CR": CreditParams,
+    "CS": CoScheduleParams,
+    "BS": BalanceParams,
+    "DSS": DSSParams,
+    "VS": VSlicerParams,
+    "ATC": ATCParams,
+}
+
+
+def scheduler_names() -> list[str]:
+    """All approach names, in the paper's presentation order."""
+    return ["CR", "CS", "BS", "DSS", "VS", "ATC"]
+
+
+def make_scheduler_factory(
+    name: str, params: SchedulerParams | None = None
+) -> Callable[[object], Scheduler]:
+    """Build a per-VMM scheduler factory for the named approach."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    if params is not None and not isinstance(params, DEFAULT_PARAMS[name]):
+        raise TypeError(
+            f"{name} expects {DEFAULT_PARAMS[name].__name__}, got {type(params).__name__}"
+        )
+    return lambda vmm: cls(vmm, params)

@@ -1,0 +1,178 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event-queue kernel in the style of classic DES libraries:
+events are ``(time, sequence, callback)`` tuples kept in a binary heap.  The
+sequence number breaks ties deterministically (FIFO among simultaneous
+events), which keeps whole-cluster simulations bit-reproducible for a given
+seed.
+
+Design notes (following the repository's HPC-Python guidelines):
+
+* the hot path (``schedule`` / ``run``) avoids allocation beyond the event
+  record itself and uses ``__slots__`` everywhere;
+* cancellation is O(1): a cancelled event stays in the heap but is skipped
+  when popped (lazy deletion), which is far cheaper than heap surgery for
+  the preemption-heavy scheduler workloads simulated here;
+* callbacks receive no arguments; closures or ``functools.partial`` bind
+  whatever context they need.  This keeps the heap entries small.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.at` / :meth:`Simulator.after`
+    and can be cancelled.  A cancelled event is skipped by the main loop.
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[[], None]] = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; it will not fire.  Idempotent."""
+        self.cancelled = True
+        self.fn = None  # break reference cycles / free closure early
+
+    # Heap ordering -------------------------------------------------------
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The discrete-event simulation kernel.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in integer nanoseconds.
+    events_processed:
+        Number of callbacks executed so far (skipped/cancelled events do
+        not count).
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "events_processed", "_stopped", "trace")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self.events_processed: int = 0
+        self._stopped = False
+        #: Optional callable(time, fn) invoked before each event; used by
+        #: tests and debugging tools.  ``None`` disables tracing (default).
+        self.trace: Optional[Callable[[int, Callable[[], None]], None]] = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute time ``time`` (ns)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        ev = Event(int(time), self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + int(delay), fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[int]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if queue empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            fn = ev.fn
+            ev.fn = None
+            if self.trace is not None:
+                self.trace(self.now, fn)  # pragma: no cover - debug hook
+            fn()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` (ns) is reached, or
+        ``max_events`` callbacks have executed.
+
+        When ``until`` is given and the queue still holds later events, the
+        clock is advanced to exactly ``until`` so repeated ``run`` calls
+        compose naturally.
+        """
+        self._stopped = False
+        heap = self._heap
+        processed = 0
+        while heap and not self._stopped:
+            ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(heap)
+            self.now = ev.time
+            fn = ev.fn
+            ev.fn = None
+            if self.trace is not None:
+                self.trace(self.now, fn)  # pragma: no cover - debug hook
+            fn()
+            self.events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued (O(n); tests only)."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"

@@ -1,0 +1,6 @@
+"""Virtual-cluster construction and placement policies."""
+
+from repro.virtcluster.cluster import VirtualCluster
+from repro.virtcluster.placement import pack_placement, spread_placement
+
+__all__ = ["VirtualCluster", "pack_placement", "spread_placement"]

@@ -1,0 +1,39 @@
+"""Virtual clusters: named groups of VMs hosting one parallel job."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vm import VM
+
+__all__ = ["VirtualCluster"]
+
+
+class VirtualCluster:
+    """A set of VMs (usually spread over distinct physical nodes) acting
+    as one parallel machine, as users rent them from the cloud."""
+
+    __slots__ = ("name", "vms")
+
+    def __init__(self, name: str, vms: Sequence["VM"]) -> None:
+        if not vms:
+            raise ValueError("a virtual cluster needs at least one VM")
+        self.name = name
+        self.vms = list(vms)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.vms)
+
+    @property
+    def n_vcpus(self) -> int:
+        return sum(len(vm.vcpus) for vm in self.vms)
+
+    @property
+    def nodes(self) -> list[int]:
+        """Physical node indices hosting this cluster's VMs."""
+        return sorted({vm.node.index for vm in self.vms})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualCluster {self.name} vms={self.n_vms} vcpus={self.n_vcpus}>"

@@ -1,0 +1,41 @@
+"""Workload models: NPB kernels (BSP), non-parallel apps, LLNL trace mix."""
+
+from repro.workloads.base import BSPSpec, ParallelApp, bsp_rank_program
+from repro.workloads.nonparallel import (
+    BonnieApp,
+    CPU_APP_SPECS,
+    CpuApp,
+    CpuAppSpec,
+    PingApp,
+    StreamApp,
+    WebServerApp,
+)
+from repro.workloads.npb import CLASS_SCALES, NPB_EXTENDED, NPB_NAMES, NPB_SPECS, npb_spec
+from repro.workloads.traces import (
+    ATLAS_TABLE1,
+    VCMix,
+    paper_vc_mix,
+    synthesize_vc_mix,
+)
+
+__all__ = [
+    "BSPSpec",
+    "ParallelApp",
+    "bsp_rank_program",
+    "BonnieApp",
+    "CPU_APP_SPECS",
+    "CpuApp",
+    "CpuAppSpec",
+    "PingApp",
+    "StreamApp",
+    "WebServerApp",
+    "CLASS_SCALES",
+    "NPB_EXTENDED",
+    "NPB_NAMES",
+    "NPB_SPECS",
+    "npb_spec",
+    "ATLAS_TABLE1",
+    "VCMix",
+    "paper_vc_mix",
+    "synthesize_vc_mix",
+]

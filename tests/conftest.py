@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import build_cluster
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.dom0 import Dom0
+from repro.hypervisor.vm import VM
+from repro.hypervisor.vmm import VMM
+from repro.schedulers.credit import CreditParams, CreditScheduler
+from repro.sim.engine import Simulator
+
+
+def make_node_world(
+    n_nodes: int = 1,
+    n_pcpus: int = 2,
+    scheduler_factory=None,
+    period_ns: int = 30_000_000,
+):
+    """A minimal wired world: cluster + VMM + dom0 per node.
+
+    Returns (sim, cluster, vmms).
+    """
+    from repro.cluster.node import NodeParams
+
+    sim = Simulator()
+    cluster = build_cluster(sim, n_nodes, NodeParams(n_pcpus=n_pcpus))
+    factory = scheduler_factory or (lambda vmm: CreditScheduler(vmm, CreditParams()))
+    vmms = []
+    for node in cluster.nodes:
+        vmm = VMM(sim, node, factory, period_ns=period_ns)
+        Dom0(sim, vmm, cluster.fabric)
+        vmms.append(vmm)
+    return sim, cluster, vmms
+
+
+def add_guest_vm(vmm, n_vcpus=1, name=None, is_parallel=False, spin_block_ns=None):
+    """Create a guest VM with a kernel on the given VMM."""
+    vm = VM(vmm.node, n_vcpus, name=name, is_parallel=is_parallel)
+    vmm.add_vm(vm)
+    GuestKernel(vmm.sim, vm, spin_block_ns=spin_block_ns)
+    return vm
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def single_node():
+    """(sim, cluster, vmm) with one 2-PCPU node under Credit."""
+    sim, cluster, vmms = make_node_world()
+    return sim, cluster, vmms[0]

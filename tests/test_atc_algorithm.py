@@ -1,0 +1,208 @@
+"""Tests for Algorithm 1 (compute_time_slice) — unit cases for every
+branch plus property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.atc import ATCVmState, compute_time_slice
+from repro.core.config import ATCConfig
+from repro.sim.units import MSEC, ns_from_ms
+
+CFG = ATCConfig()  # alpha=6ms, beta=0.3ms, thr=0.3ms, default=30ms
+A = CFG.alpha_ns
+B = CFG.beta_ns
+THR = CFG.min_threshold_ns
+DEF = CFG.default_ns
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_config_defaults_match_paper():
+    assert CFG.min_threshold_ns == ns_from_ms(0.3)
+    assert CFG.default_ns == 30 * MSEC
+    assert CFG.alpha_ns > CFG.beta_ns
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(alpha_ns=100, beta_ns=200),  # alpha must exceed beta
+        dict(min_threshold_ns=0),
+        dict(default_ns=1, min_threshold_ns=100),
+        dict(trend_policy="bogus"),
+    ],
+)
+def test_config_rejects_invalid(kw):
+    with pytest.raises(ValueError):
+        ATCConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 branch coverage
+# ----------------------------------------------------------------------
+def test_rising_latency_shortens_by_alpha():
+    ts = compute_time_slice([1000, 1000, 2000], [DEF, DEF, DEF], CFG)
+    assert ts == DEF - A
+
+
+def test_rising_latency_near_threshold_shortens_by_beta():
+    cur = THR + B  # alpha step would go below the threshold
+    ts = compute_time_slice([1000, 1000, 2000], [cur, cur, cur], CFG)
+    assert ts == cur - B
+    assert ts >= THR
+
+
+def test_never_goes_below_min_threshold():
+    ts = compute_time_slice([1000, 1000, 2000], [THR, THR, THR], CFG)
+    assert ts == THR  # hold: both steps would violate the threshold
+
+
+def test_flat_latency_holds_slice():
+    ts = compute_time_slice([2000, 2000, 2000], [DEF, DEF, DEF], CFG)
+    assert ts == DEF
+
+
+def test_decreasing_latency_without_slice_decrease_holds():
+    # falling latency but the slice did NOT shrink: not attributable to us
+    ts = compute_time_slice([3000, 2000, 1000], [12 * MSEC, 12 * MSEC, 12 * MSEC], CFG)
+    assert ts == 12 * MSEC
+
+
+def test_paper_policy_keeps_shortening_when_fall_is_caused_by_slice():
+    # printed pseudo-code: sustained fall + shrinking slice -> shorten more
+    # 6 ms - alpha would hit 0 (< threshold), so the fine beta step applies
+    ts = compute_time_slice(
+        [3000, 2000, 1000], [18 * MSEC, 12 * MSEC, 6 * MSEC], CFG
+    )
+    assert ts == 6 * MSEC - B
+
+
+def test_prose_policy_lengthens_gently_instead():
+    cfg = ATCConfig(trend_policy="prose")
+    ts = compute_time_slice(
+        [3000, 2000, 1000], [18 * MSEC, 12 * MSEC, 6 * MSEC], cfg
+    )
+    assert ts == 6 * MSEC + cfg.beta_ns
+
+
+def test_prose_policy_still_shortens_on_rise():
+    cfg = ATCConfig(trend_policy="prose")
+    ts = compute_time_slice([1000, 1000, 2000], [DEF, DEF, DEF], cfg)
+    assert ts == DEF - cfg.alpha_ns
+
+
+def test_zero_latency_three_periods_restores_default_when_close():
+    ts = compute_time_slice([0, 0, 0], [DEF - B, DEF - B, DEF - B], CFG)
+    assert ts == DEF
+
+
+def test_zero_latency_three_periods_steps_up_by_alpha():
+    cur = 10 * MSEC
+    ts = compute_time_slice([0, 0, 0], [cur, cur, cur], CFG)
+    assert ts == cur + A
+
+
+def test_zero_latency_overrides_trend_branch():
+    # all-zero history is also "not rising": restore wins
+    ts = compute_time_slice([0, 0, 0], [THR, THR, THR], CFG)
+    assert ts == THR + A
+
+
+def test_partial_zero_latency_does_not_restore():
+    ts = compute_time_slice([0, 0, 500], [12 * MSEC] * 3, CFG)
+    assert ts == 12 * MSEC - A  # 0 < 500 counts as rising
+
+
+def test_requires_exactly_three_periods():
+    with pytest.raises(ValueError):
+        compute_time_slice([1, 2], [DEF, DEF], CFG)
+    with pytest.raises(ValueError):
+        compute_time_slice([1, 2, 3, 4], [DEF] * 4, CFG)
+
+
+def test_convergence_from_default_to_threshold():
+    """Under persistently rising latency the control law converges onto
+    exactly the minimum threshold and stays there."""
+    lat = [1.0, 2.0, 3.0]
+    slices = [DEF, DEF, DEF]
+    seen = []
+    for i in range(60):
+        nxt = compute_time_slice(lat, slices, CFG)
+        seen.append(nxt)
+        lat = [lat[1], lat[2], lat[2] + 1.0]
+        slices = [slices[1], slices[2], nxt]
+    assert seen[-1] == THR
+    assert min(seen) >= THR
+    # monotone non-increasing trajectory
+    assert all(b <= a for a, b in zip(seen, seen[1:]))
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+lat_st = st.lists(st.floats(min_value=0, max_value=1e9), min_size=3, max_size=3)
+slice_st = st.lists(
+    st.integers(min_value=CFG.min_threshold_ns, max_value=CFG.default_ns),
+    min_size=3,
+    max_size=3,
+)
+
+
+@given(lat_st, slice_st)
+def test_result_respects_threshold_and_default(lats, slices):
+    ts = compute_time_slice(lats, slices, CFG)
+    assert ts >= CFG.min_threshold_ns
+    assert ts <= CFG.default_ns
+
+
+@given(lat_st, slice_st)
+def test_single_step_bounded_by_alpha(lats, slices):
+    ts = compute_time_slice(lats, slices, CFG)
+    assert abs(ts - slices[-1]) <= CFG.alpha_ns or ts == CFG.default_ns
+
+
+@given(lat_st, slice_st, st.sampled_from(["paper", "prose"]))
+def test_deterministic(lats, slices, policy):
+    cfg = ATCConfig(trend_policy=policy)
+    assert compute_time_slice(lats, slices, cfg) == compute_time_slice(lats, slices, cfg)
+
+
+@given(slice_st)
+def test_rising_latency_never_lengthens(slices):
+    ts = compute_time_slice([1.0, 2.0, 3.0], slices, CFG)
+    assert ts <= slices[-1]
+
+
+@given(slice_st)
+def test_zero_latency_never_shortens(slices):
+    ts = compute_time_slice([0, 0, 0], slices, CFG)
+    assert ts >= slices[-1]
+
+
+# ----------------------------------------------------------------------
+# ATCVmState
+# ----------------------------------------------------------------------
+def test_state_warmup_keeps_current_slice():
+    stt = ATCVmState(CFG)
+    assert stt.next_slice() == CFG.default_ns  # no history at all
+    stt.observe(100.0, DEF)
+    assert stt.next_slice() == DEF
+    stt.observe(200.0, DEF)
+    assert stt.next_slice() == DEF  # still <3 periods
+
+
+def test_state_window_rolls():
+    stt = ATCVmState(CFG)
+    for i in range(10):
+        stt.observe(float(i), DEF - i)
+    assert stt.latencies == [7.0, 8.0, 9.0]
+    assert stt.slices == [DEF - 7, DEF - 8, DEF - 9]
+
+
+def test_state_applies_algorithm_after_three():
+    stt = ATCVmState(CFG)
+    stt.observe(100.0, DEF)
+    stt.observe(100.0, DEF)
+    stt.observe(200.0, DEF)
+    assert stt.next_slice() == DEF - A

@@ -1,0 +1,112 @@
+"""Tests for Algorithm 2: the host-level ATC controller."""
+
+from repro.core.config import ATCConfig
+from repro.core.controller import ATCController
+from repro.sim.units import MSEC, ns_from_ms
+
+from tests.conftest import add_guest_vm, make_node_world
+
+
+def make_controller(n_parallel=2, n_nonparallel=1, cfg=None):
+    sim, cluster, vmms = make_node_world(n_pcpus=4)
+    vmm = vmms[0]
+    par = [add_guest_vm(vmm, 1, name=f"p{i}", is_parallel=True) for i in range(n_parallel)]
+    non = [add_guest_vm(vmm, 1, name=f"n{i}") for i in range(n_nonparallel)]
+    ctrl = ATCController(vmm, cfg or ATCConfig(), record_series=True)
+    return sim, vmm, ctrl, par, non
+
+
+def warm_history(ctrl, vms, lats):
+    """Feed three periods of per-VM latency into the controller."""
+    for t, batch in enumerate(lats):
+        for vm, lat in zip(vms, batch):
+            vm.kernel.record_spin_wait(int(lat), "lock")
+            # record_spin_wait counts one wait; avg == lat
+        ctrl.on_period((t + 1) * 30 * MSEC)
+
+
+def test_host_min_is_applied_to_all_parallel_vms():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=2)
+    # VM p0 sees rising latency -> shortens; p1 flat -> holds at default.
+    warm_history(
+        ctrl,
+        par,
+        [
+            (1000, 1000),
+            (1000, 1000),
+            (2000, 1000),  # p0 rising, p1 flat
+        ],
+    )
+    ctrl.on_period(4 * 30 * MSEC)
+    cfg = ctrl.cfg
+    # p0's candidate is DEF - alpha; p1's candidate DEF; host min applied:
+    assert par[0].slice_ns == cfg.default_ns - cfg.alpha_ns
+    assert par[1].slice_ns == par[0].slice_ns
+
+
+def test_nonparallel_gets_default_or_admin_value():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=1, n_nonparallel=2)
+    non[1].admin_slice_ns = ns_from_ms(6)
+    ctrl.on_period(30 * MSEC)
+    assert non[0].slice_ns is None  # VMM default
+    assert non[1].slice_ns == ns_from_ms(6)
+
+
+def test_no_parallel_vms_sets_all_defaults():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=0, n_nonparallel=2)
+    non[0].slice_ns = 123456  # leftover value must be cleared
+    ctrl.on_period(30 * MSEC)
+    assert non[0].slice_ns is None
+
+
+def test_dom0_untouched():
+    sim, vmm, ctrl, par, non = make_controller()
+    ctrl.on_period(30 * MSEC)
+    assert vmm.dom0.vm.slice_ns is None
+
+
+def test_slice_history_recorded():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=1)
+    for t in range(4):
+        par[0].kernel.record_spin_wait(1000 * (t + 1), "lock")
+        ctrl.on_period((t + 1) * 30 * MSEC)
+    assert len(ctrl.slice_history) == 4
+    times = [t for t, _ in ctrl.slice_history]
+    assert times == [30 * MSEC * (i + 1) for i in range(4)]
+
+
+def test_controller_hooks_into_vmm_period():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=1)
+    vmm.start()
+    sim.run(until=200 * MSEC)
+    # period ticks ran the controller: history accumulated
+    st = ctrl.monitor.state_for(par[0])
+    assert len(st.latencies) == 3  # window capped
+
+
+def test_converges_to_min_threshold_under_persistent_spin():
+    sim, vmm, ctrl, par, non = make_controller(n_parallel=1)
+    vm = par[0]
+    for t in range(40):
+        # strictly rising latency every period
+        vm.kernel.record_spin_wait(1000 * (t + 1) ** 2, "lock")
+        ctrl.on_period((t + 1) * 30 * MSEC)
+    assert vm.slice_ns == ctrl.cfg.min_threshold_ns
+
+
+def test_atc_scheduler_integration():
+    """ATCScheduler wires the controller into the credit scheduler."""
+    from repro.schedulers.atc_sched import ATCParams, ATCScheduler
+
+    sim, cluster, vmms = make_node_world(
+        scheduler_factory=lambda vmm: ATCScheduler(vmm, ATCParams())
+    )
+    vmm = vmms[0]
+    vm = add_guest_vm(vmm, 1, is_parallel=True)
+    sched = vmm.scheduler
+    assert sched.controller.vmm is vmm
+    # slice_for honours the controller's per-VM slice
+    vm.slice_ns = 777
+    assert sched.slice_for(vm.vcpus[0]) == 777
+    vm.slice_ns = None
+    assert sched.slice_for(vm.vcpus[0]) == sched.params.slice_ns

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["typea", "--scheduler", "FIFO"])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["typea", "--app", "linpack"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("CR", "ATC", "lu", "ep", "ft"):
+        assert name in out
+
+
+def test_typea_command(capsys):
+    assert main(["typea", "--app", "is", "--scheduler", "CR", "--rounds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Evaluation type A" in out
+    assert "is" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--app", "is", "--slices", "30,1"]) == 0
+    out = capsys.readouterr().out
+    assert "Slice sweep" in out
+    assert "30" in out and "1" in out
+
+
+def test_mix_command(capsys):
+    assert main(["mix", "--scheduler", "CR", "--horizon", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ping RTT" in out
+
+
+def test_typeb_command(capsys):
+    assert main(["typeb", "--scheduler", "CR", "--nodes", "4", "--horizon", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "LLNL trace mix" in out
+
+
+def test_probe_command(capsys):
+    assert main(["probe", "--scheduler", "CR", "--probes", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "end to end" in out
+
+
+def test_extended_kernels_run():
+    """ep (no communication) and ft (all-to-all) run end-to-end."""
+    from repro.experiments.scenarios import run_type_a
+
+    for app in ("ep", "ft"):
+        r = run_type_a(app, "CR", 2, rounds=1, warmup_rounds=0, horizon_s=120)
+        assert r["all_done"], app
+    # ep has no messages at all
+    r = run_type_a("ep", "CR", 2, rounds=1, warmup_rounds=0, horizon_s=120)
+    assert r["cluster"]["messages_sent"] == 0
+
+
+def test_new_spec_cpu_apps():
+    from tests.conftest import add_guest_vm, make_node_world
+    from repro.sim.rng import SimRNG
+    from repro.sim.units import SEC
+    from repro.workloads.nonparallel import CPU_APP_SPECS, CpuApp
+
+    sim, cluster, vmms = make_node_world(n_pcpus=2)
+    vm = add_guest_vm(vmms[0], 2)
+    mcf = CpuApp(sim, vm, CPU_APP_SPECS["mcf"], SimRNG(0))
+    gobmk = CpuApp(sim, vm, CPU_APP_SPECS["gobmk"], SimRNG(1))
+    mcf.start()
+    gobmk.start()
+    vmms[0].start()
+    sim.run(until=2 * SEC)
+    assert mcf.run_times and gobmk.run_times
+    assert CPU_APP_SPECS["mcf"].cache_sensitivity > CPU_APP_SPECS["gobmk"].cache_sensitivity

@@ -1,0 +1,179 @@
+"""Tests for the physical substrate: cache model, fabric, nodes, disk."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.cache import CacheParams, PCPUCache
+from repro.cluster.network import Fabric, NetworkParams
+from repro.cluster.node import Disk, DiskParams, NodeParams, PhysicalNode
+from repro.cluster.topology import build_cluster
+from repro.sim.engine import Simulator
+from repro.sim.units import MSEC, USEC
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def test_first_dispatch_pays_full_refill():
+    c = PCPUCache(CacheParams(refill_ns=30 * USEC, decay_tau_ns=2 * MSEC, miss_cost_ns=100))
+    pen, misses = c.on_dispatch(0, "v1", 1.0)
+    assert pen == 30 * USEC
+    assert misses == pen // 100
+
+
+def test_back_to_back_same_vcpu_is_free():
+    c = PCPUCache()
+    c.on_dispatch(0, "v1")
+    c.on_undispatch(10, "v1")
+    pen, misses = c.on_dispatch(10, "v1")
+    assert pen == 0 and misses == 0
+
+
+def test_warmth_decays_with_absence():
+    p = CacheParams(refill_ns=30 * USEC, decay_tau_ns=1 * MSEC)
+    c = PCPUCache(p)
+    c.on_dispatch(0, "v1")
+    c.on_undispatch(100, "v1")
+    c.on_dispatch(100, "v2")
+    c.on_undispatch(200, "v2")
+    pen_short, _ = c.on_dispatch(200, "v1")  # away 100 ns: nearly warm
+
+    c2 = PCPUCache(p)
+    c2.on_dispatch(0, "v1")
+    c2.on_undispatch(100, "v1")
+    c2.on_dispatch(100, "v2")
+    c2.on_undispatch(10 * MSEC, "v2")
+    pen_long, _ = c2.on_dispatch(10 * MSEC, "v1")  # away 10 ms: cold
+    assert pen_short < pen_long
+    assert pen_long == pytest.approx(p.refill_ns, rel=0.01)
+
+
+def test_sensitivity_scales_penalty():
+    c = PCPUCache(CacheParams(refill_ns=30 * USEC))
+    pen_lo, _ = c.on_dispatch(0, "a", 0.5)
+    c2 = PCPUCache(CacheParams(refill_ns=30 * USEC))
+    pen_hi, _ = c2.on_dispatch(0, "a", 2.0)
+    assert pen_hi == 4 * pen_lo
+
+
+def test_counters_accumulate_and_reset():
+    c = PCPUCache()
+    c.on_dispatch(0, "a")
+    c.on_undispatch(5, "a")
+    c.on_dispatch(5, "b")
+    assert c.total_penalty_ns > 0
+    assert c.total_miss_count > 0
+    c.reset_counters()
+    assert c.total_penalty_ns == 0 and c.total_miss_count == 0
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_penalty_never_exceeds_refill(away):
+    p = CacheParams(refill_ns=30 * USEC, decay_tau_ns=2 * MSEC)
+    c = PCPUCache(p)
+    c.on_dispatch(0, "a")
+    c.on_undispatch(1, "a")
+    c.on_dispatch(1, "b")
+    c.on_undispatch(2 + away, "b")
+    pen, _ = c.on_dispatch(2 + away, "a")
+    assert 0 <= pen <= p.refill_ns
+
+
+# ----------------------------------------------------------------------
+# Network fabric
+# ----------------------------------------------------------------------
+def test_tx_time_includes_framing():
+    p = NetworkParams(bandwidth_bps=1e9, framing_bytes=66, mtu_payload_bytes=1448)
+    one = p.tx_ns(100)
+    assert one == int((100 + 66) * 8)
+    multi = p.tx_ns(1448 * 3)
+    assert multi == int((1448 * 3 + 3 * 66) * 8)
+
+
+def test_delivery_time_latency_plus_tx():
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams(latency_ns=30 * USEC, bandwidth_bps=1e9))
+    arrivals = []
+    t = fab.transmit(0, 1, 1000, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [t]
+    assert t == fab.params.tx_ns(1000) + 30 * USEC
+
+
+def test_nic_serializes_back_to_back_sends():
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams(latency_ns=0, bandwidth_bps=1e9))
+    arrivals = []
+    fab.transmit(0, 1, 1_000_000, lambda: arrivals.append(("a", sim.now)))
+    fab.transmit(0, 2, 1_000_000, lambda: arrivals.append(("b", sim.now)))
+    sim.run()
+    (na, ta), (nb, tb) = arrivals
+    assert na == "a" and nb == "b"
+    assert tb >= 2 * ta * 0.99  # second waited for the first to drain
+
+
+def test_different_sources_do_not_serialize():
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams(latency_ns=0, bandwidth_bps=1e9))
+    arrivals = {}
+    fab.transmit(0, 2, 1_000_000, lambda: arrivals.setdefault("a", sim.now))
+    fab.transmit(1, 2, 1_000_000, lambda: arrivals.setdefault("b", sim.now))
+    sim.run()
+    assert arrivals["a"] == arrivals["b"]
+
+
+def test_fabric_counters():
+    sim = Simulator()
+    fab = Fabric(sim)
+    fab.transmit(0, 1, 500, lambda: None)
+    fab.transmit(1, 0, 700, lambda: None)
+    assert fab.messages_sent == 2
+    assert fab.bytes_sent == 1200
+
+
+# ----------------------------------------------------------------------
+# Node / disk / topology
+# ----------------------------------------------------------------------
+def test_disk_service_time_model():
+    p = DiskParams(seek_ns=2 * MSEC, bandwidth_Bps=100e6)
+    assert p.service_ns(100_000_000) == 2 * MSEC + 1_000_000_000
+
+
+def test_disk_fifo_ordering():
+    sim = Simulator()
+    d = Disk(sim, DiskParams(seek_ns=1 * MSEC, bandwidth_Bps=1e9))
+    done = []
+    d.submit(1000, lambda: done.append("a"))
+    d.submit(1000, lambda: done.append("b"))
+    sim.run()
+    assert done == ["a", "b"]
+    assert d.requests == 2 and d.bytes_moved == 2000
+
+
+def test_disk_back_to_back_serialization():
+    sim = Simulator()
+    d = Disk(sim, DiskParams(seek_ns=1 * MSEC, bandwidth_Bps=1e9))
+    t1 = d.submit(0, lambda: None)
+    t2 = d.submit(0, lambda: None)
+    assert t2 == 2 * t1
+
+
+def test_build_cluster_shape():
+    sim = Simulator()
+    c = build_cluster(sim, 4, NodeParams(n_pcpus=8))
+    assert len(c.nodes) == 4
+    assert c.n_pcpus == 32
+    assert c.node(2).index == 2
+    assert all(n.vmm is None for n in c.nodes)
+
+
+def test_build_cluster_rejects_zero_nodes():
+    with pytest.raises(ValueError):
+        build_cluster(Simulator(), 0)
+
+
+def test_node_pcpus_start_idle():
+    sim = Simulator()
+    node = PhysicalNode(sim, 0, NodeParams(n_pcpus=3))
+    assert all(p.is_idle for p in node.pcpus)
+    assert [p.index for p in node.pcpus] == [0, 1, 2]

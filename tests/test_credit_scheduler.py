@@ -1,0 +1,211 @@
+"""Tests for the Credit scheduler model (CR)."""
+
+from repro.guest.process import compute
+from repro.hypervisor.vm import VCPUState, VM
+from repro.schedulers.base import PRIO_BOOST, PRIO_OVER, PRIO_UNDER
+from repro.schedulers.credit import CreditParams, CreditScheduler
+from repro.sim.units import MSEC, USEC
+
+from tests.conftest import add_guest_vm, make_node_world
+
+
+def spin_forever():
+    while True:
+        yield compute(10 * MSEC)
+
+
+def start_hog(vm, n=None):
+    for i in range(n if n is not None else len(vm.vcpus)):
+        p = vm.kernel.add_process()
+        p.load_program(spin_forever())
+        p.start()
+
+
+def test_default_slice_is_30ms():
+    assert CreditParams().slice_ns == 30 * MSEC
+
+
+def test_slice_for_per_vm_override(single_node):
+    sim, cluster, vmm = single_node
+    vm = add_guest_vm(vmm, 1)
+    sched = vmm.scheduler
+    assert sched.slice_for(vm.vcpus[0]) == 30 * MSEC
+    vm.slice_ns = 5 * MSEC
+    assert sched.slice_for(vm.vcpus[0]) == 5 * MSEC
+
+
+def test_wake_prefers_idle_pcpu(single_node):
+    sim, cluster, vmm = single_node
+    a = add_guest_vm(vmm, 1, name="a")
+    b = add_guest_vm(vmm, 1, name="b")
+    start_hog(a)
+    start_hog(b)
+    # both should be running immediately on the two idle pcpus
+    assert a.vcpus[0].state is VCPUState.RUNNING
+    assert b.vcpus[0].state is VCPUState.RUNNING
+    assert a.vcpus[0].pcpu is not b.vcpus[0].pcpu
+
+
+def test_timesharing_is_fair_between_equal_vms():
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    vmm = vmms[0]
+    a = add_guest_vm(vmm, 1, name="a")
+    b = add_guest_vm(vmm, 1, name="b")
+    start_hog(a)
+    start_hog(b)
+    vmm.start()
+    sim.run(until=2_000 * MSEC)
+    ta = a.vcpus[0].total_run_ns
+    tb = b.vcpus[0].total_run_ns
+    assert abs(ta - tb) / max(ta, tb) < 0.15
+    # and they alternated on slice boundaries
+    assert cluster.nodes[0].pcpus[0].context_switches > 30
+
+
+def test_weighted_share():
+    # Credit enforces weights through UNDER/OVER priority, which is only
+    # re-evaluated on slice boundaries — use a slice finer than the
+    # accounting period (as Xen's 10 ms ticks do) to observe it.
+    sim, cluster, vmms = make_node_world(
+        n_pcpus=1,
+        scheduler_factory=lambda vmm: CreditScheduler(
+            vmm, CreditParams(slice_ns=5 * MSEC)
+        ),
+    )
+    vmm = vmms[0]
+    a = VM(vmm.node, 1, name="heavy", weight=3.0)
+    vmm.add_vm(a)
+    from repro.guest.kernel import GuestKernel
+
+    GuestKernel(sim, a)
+    b = add_guest_vm(vmm, 1, name="light")
+    start_hog(a)
+    start_hog(b)
+    vmm.start()
+    sim.run(until=3_000 * MSEC)
+    ta = a.vcpus[0].total_run_ns
+    tb = b.vcpus[0].total_run_ns
+    # 3:1 weights -> clearly more CPU for the heavy VM
+    assert ta > 1.5 * tb
+
+
+def test_boost_wake_preempts_after_ratelimit():
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    vmm = vmms[0]
+    hog = add_guest_vm(vmm, 1, name="hog")
+    lat = add_guest_vm(vmm, 1, name="lat")
+    start_hog(hog)
+
+    from repro.guest.process import sleep
+
+    wake_delays = []
+
+    def latprog():
+        while True:
+            yield sleep(50 * MSEC)
+            t0 = sim.now
+
+            def rec(now, t0=t0):
+                wake_delays.append(now - t0)
+
+            from repro.guest.process import call
+
+            yield compute(100 * USEC)
+            yield call(rec)
+
+    p = lat.kernel.add_process()
+    p.load_program(latprog())
+    p.start()
+    vmm.start()
+    sim.run(until=1_000 * MSEC)
+    assert wake_delays, "latency-sensitive VM never ran"
+    # mostly-idle VM keeps credit -> BOOST -> preempts within the
+    # ratelimit (1 ms) + its own compute (0.1 ms) + switch costs
+    avg = sum(wake_delays) / len(wake_delays)
+    assert avg < 2 * MSEC
+
+
+def test_busy_vcpus_lose_boost():
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    vmm = vmms[0]
+    vm = add_guest_vm(vmm, 1)
+    start_hog(vm)
+    vmm.start()
+    sim.run(until=200 * MSEC)
+    sched = vmm.scheduler
+    # a CPU-hog that consumed far more than its fair share has negative
+    # effective credit
+    assert sched._effective_credit(vm.vcpus[0]) <= 0
+
+
+def test_work_stealing_balances_queues():
+    sim, cluster, vmms = make_node_world(n_pcpus=2)
+    vmm = vmms[0]
+    vms = [add_guest_vm(vmm, 1, name=f"v{i}") for i in range(4)]
+    for vm in vms:
+        start_hog(vm)
+    vmm.start()
+    sim.run(until=1_000 * MSEC)
+    # both pcpus should have done real work
+    busies = [p.busy_ns for p in cluster.nodes[0].pcpus]
+    assert min(busies) > 0.7 * max(busies)
+    # and every VM made progress
+    runs = [vm.vcpus[0].total_run_ns for vm in vms]
+    assert min(runs) > 0.5 * max(runs)
+
+
+def test_priorities_order_under_over():
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    vmm = vmms[0]
+    sched = vmm.scheduler
+    vm = add_guest_vm(vmm, 2)
+    v0, v1 = vm.vcpus
+    v0.credit = 1000.0
+    v1.credit = -1000.0
+    assert sched._credit_prio(v0) == PRIO_UNDER
+    assert sched._credit_prio(v1) == PRIO_OVER
+    assert PRIO_BOOST < PRIO_UNDER < PRIO_OVER
+
+
+def test_pop_best_prefers_boost():
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    sched = vmms[0].scheduler
+    vm = add_guest_vm(vmms[0], 3)
+    a, b, c = vm.vcpus
+    a.prio, b.prio, c.prio = PRIO_OVER, PRIO_BOOST, PRIO_UNDER
+    q = sched.runqs[0]
+    for v in (a, b, c):
+        q.append(v)
+        v.queued = True
+    picked = sched._pop_best(q)
+    assert picked is b
+    assert sched._pop_best(q) is c
+    assert sched._pop_best(q) is a
+    assert sched._pop_best(q) is None
+
+
+def test_scheduler_statistics_counters():
+    """The introspection counters move under a contended workload."""
+    sim, cluster, vmms = make_node_world(n_pcpus=2)
+    vmm = vmms[0]
+    sched = vmm.scheduler
+    hogs = [add_guest_vm(vmm, 1, name=f"h{i}") for i in range(3)]
+    for vm in hogs:
+        start_hog(vm)
+    lat = add_guest_vm(vmm, 1, name="lat")
+
+    from repro.guest.process import call, sleep
+
+    def latprog():
+        while True:
+            yield sleep(3 * MSEC)
+            yield compute(50 * USEC)
+
+    p = lat.kernel.add_process()
+    p.load_program(latprog())
+    p.start()
+    vmm.start()
+    sim.run(until=1_000 * MSEC)
+    assert sched.stat_boost_wakes > 0
+    assert sched.stat_wake_preemptions + sched.stat_deferred_tickles > 0
+    assert sched.stat_steals >= 0  # stealing depends on queue imbalance

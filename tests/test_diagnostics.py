@@ -1,0 +1,68 @@
+"""Tests for the ATC convergence diagnostics."""
+
+import pytest
+
+from repro.core.diagnostics import ConvergenceReport, analyze_slice_trace, settling_time
+
+
+def test_settling_time_clean_ramp():
+    trace = [(10, 30), (20, 24), (30, 18), (40, 18), (50, 18)]
+    assert settling_time(trace) == 30
+
+
+def test_settling_time_with_excursion():
+    trace = [(10, 18), (20, 30), (30, 18), (40, 18)]
+    assert settling_time(trace) == 30
+
+
+def test_settling_time_tolerance():
+    trace = [(10, 20), (20, 19), (30, 18)]
+    assert settling_time(trace, tolerance_ns=2) == 10
+    assert settling_time(trace) == 30
+
+
+def test_settling_time_empty():
+    assert settling_time([]) is None
+
+
+def test_analyze_trace_ramp():
+    trace = [(i * 30, s) for i, s in enumerate([30, 30, 24, 18, 12, 6, 6, 6])]
+    r = analyze_slice_trace(trace)
+    assert r.periods == 8
+    assert r.initial_ns == 30
+    assert r.final_ns == 6
+    assert r.min_ns == 6
+    assert r.reversals == 0
+    assert r.settled_at_ns == 5 * 30
+
+
+def test_analyze_trace_oscillation():
+    trace = [(i, s) for i, s in enumerate([30, 20, 25, 15, 20, 10])]
+    r = analyze_slice_trace(trace)
+    assert r.reversals == 4
+
+
+def test_analyze_trace_empty_raises():
+    with pytest.raises(ValueError):
+        analyze_slice_trace([])
+
+
+def test_analyze_real_controller_trace():
+    """End to end: the recorded ATC trace is a clean, settling ramp."""
+    from repro.experiments.harness import CloudWorld, WorldConfig
+    from repro.schedulers.atc_sched import ATCParams
+    from repro.sim.units import SEC
+
+    world = CloudWorld(
+        WorldConfig(n_nodes=2, scheduler="ATC", seed=0, sched_params=ATCParams(record_series=True))
+    )
+    for k in range(4):
+        vc = world.virtual_cluster(2, name=f"vc{k}")
+        world.add_npb("lu", vc.vms, rounds=None, warmup_rounds=0)
+    world.run(horizon_ns=2 * SEC)
+    ctrl = world.vmms[0].scheduler.controller
+    r = analyze_slice_trace(ctrl.slice_history)
+    assert r.final_ns == ctrl.cfg.min_threshold_ns
+    assert r.settled_at_ns is not None
+    assert r.settled_at_ns < 1 * SEC  # converges in under a second
+    assert r.reversals <= 2

@@ -1,0 +1,191 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_state(sim):
+    assert sim.now == 0
+    assert sim.events_processed == 0
+    assert sim.pending() == 0
+    assert sim.peek() is None
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.at(30, lambda: order.append("c"))
+    sim.at(10, lambda: order.append("a"))
+    sim.at(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_fifo_among_simultaneous_events(sim):
+    order = []
+    for i in range(10):
+        sim.at(5, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_after_is_relative(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    times = []
+    sim.after(7, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [107]
+
+
+def test_cannot_schedule_in_past(sim):
+    sim.at(50, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(10, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_cancel_skips_event(sim):
+    fired = []
+    ev = sim.at(10, lambda: fired.append(1))
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 0
+
+
+def test_cancel_is_idempotent(sim):
+    ev = sim.at(10, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_exactly(sim):
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_run_until_includes_boundary_events(sim):
+    fired = []
+    sim.at(50, lambda: fired.append(50))
+    sim.run(until=50)
+    assert fired == [50]
+
+
+def test_run_resumes_after_until(sim):
+    sim.at(10, lambda: None)
+    sim.run(until=5)
+    assert sim.now == 5
+    sim.run(until=20)
+    assert sim.events_processed == 1
+
+
+def test_stop_halts_loop(sim):
+    fired = []
+    sim.at(1, lambda: fired.append(1))
+    sim.at(2, sim.stop)
+    sim.at(3, lambda: fired.append(3))
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_max_events(sim):
+    for i in range(10):
+        sim.at(i, lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_processed == 4
+
+
+def test_step_single_event(sim):
+    fired = []
+    sim.at(5, lambda: fired.append(1))
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_fire(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.after(5, lambda: order.append("second"))
+
+    sim.at(10, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 15
+
+
+def test_zero_delay_event_fires_at_same_time_later_seq(sim):
+    order = []
+
+    def outer():
+        sim.after(0, lambda: order.append("inner"))
+        order.append("outer")
+
+    sim.at(10, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 10
+
+
+def test_peek_skips_cancelled(sim):
+    ev = sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 9
+
+
+def test_pending_counts_only_live_events(sim):
+    evs = [sim.at(i + 1, lambda: None) for i in range(5)]
+    evs[0].cancel()
+    evs[3].cancel()
+    assert sim.pending() == 3
+
+
+def test_event_ordering_operator():
+    from repro.sim.engine import Event
+
+    a = Event(10, 0, lambda: None)
+    b = Event(10, 1, lambda: None)
+    c = Event(5, 2, lambda: None)
+    assert c < a < b
+
+
+def test_large_volume_determinism():
+    """Two identical simulations process events identically."""
+
+    def build():
+        s = Simulator()
+        log = []
+
+        def rec(tag):
+            log.append((s.now, tag))
+
+        for i in range(1000):
+            s.at((i * 37) % 500, lambda i=i: rec(i))
+        s.run()
+        return log
+
+    assert build() == build()
+
+
+def test_float_times_coerced_to_int(sim):
+    sim.at(10.7, lambda: None)
+    assert sim.peek() == 10

@@ -1,0 +1,85 @@
+"""Tests for the guest kernel's spinlock-latency accounting and the
+VMM-side SpinLatencyMonitor (Fig. 6 history windows)."""
+
+import pytest
+
+from repro.core.config import ATCConfig
+from repro.core.monitor import SpinLatencyMonitor
+from repro.sim.units import MSEC
+
+from tests.conftest import add_guest_vm, make_node_world
+
+
+def test_record_and_drain_period_spin():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 1)
+    k = vm.kernel
+    k.record_spin_wait(100, "lock")
+    k.record_spin_wait(300, "barrier")
+    assert k.total_spin_ns == 400
+    assert k.total_spin_count == 2
+    assert k.spin_by_kind == {"lock": 100, "barrier": 300}
+    total, count = k.drain_period_spin()
+    assert (total, count) == (400, 2)
+    # drain resets the period but not the lifetime counters
+    assert k.drain_period_spin() == (0, 0)
+    assert k.total_spin_ns == 400
+    assert k.avg_spin_ns == 200.0
+
+
+def test_avg_spin_zero_when_no_waits():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 1)
+    assert vm.kernel.avg_spin_ns == 0.0
+
+
+def test_add_process_caps_at_vcpus():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 2)
+    vm.kernel.add_process()
+    vm.kernel.add_process()
+    with pytest.raises(RuntimeError):
+        vm.kernel.add_process()
+
+
+def test_monitor_builds_three_period_history():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 1)
+    mon = SpinLatencyMonitor(ATCConfig())
+    vm.kernel.record_spin_wait(1000, "lock")
+    st = mon.end_period(vm, 30 * MSEC)
+    assert st.latencies == [1000.0]
+    vm.kernel.record_spin_wait(500, "lock")
+    vm.kernel.record_spin_wait(1500, "lock")
+    mon.end_period(vm, 24 * MSEC)
+    assert st.latencies == [1000.0, 1000.0]  # avg of 500,1500
+    mon.end_period(vm, 18 * MSEC)
+    mon.end_period(vm, 12 * MSEC)
+    # window keeps exactly the last three periods
+    assert len(st.latencies) == 3
+    assert st.slices == [24 * MSEC, 18 * MSEC, 12 * MSEC]
+
+
+def test_monitor_zero_latency_period():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 1)
+    mon = SpinLatencyMonitor(ATCConfig())
+    st = mon.end_period(vm, 30 * MSEC)
+    assert st.latencies == [0.0]
+
+
+def test_monitor_series_recording():
+    sim, cluster, vmms = make_node_world()
+    vm = add_guest_vm(vmms[0], 1, name="vmx")
+    mon = SpinLatencyMonitor(ATCConfig())
+    mon.end_period(vm, 30 * MSEC, now=123, record=True)
+    assert mon.series == [(123, "vmx", 0.0, 30 * MSEC)]
+
+
+def test_monitor_state_per_vm():
+    sim, cluster, vmms = make_node_world()
+    a = add_guest_vm(vmms[0], 1)
+    b = add_guest_vm(vmms[0], 1)
+    mon = SpinLatencyMonitor(ATCConfig())
+    assert mon.state_for(a) is mon.state_for(a)
+    assert mon.state_for(a) is not mon.state_for(b)

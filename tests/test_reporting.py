@@ -1,0 +1,49 @@
+"""Tests for table rendering and export formats."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.reporting import format_normalized, format_table, to_csv, to_markdown
+
+
+def test_format_table_floats_and_strings():
+    out = format_table(["name", "val"], [["a", 1.23456], ["b", 7]])
+    assert "1.235" in out
+    assert "7" in out
+
+
+def test_format_table_title_optional():
+    out = format_table(["x"], [[1]])
+    assert not out.startswith("\n")
+    titled = format_table(["x"], [[1]], title="Tbl")
+    assert titled.splitlines()[0] == "Tbl"
+
+
+def test_format_normalized_missing_baseline():
+    with pytest.raises(KeyError):
+        format_normalized({"ATC": 1.0}, baseline="CR")
+
+
+def test_to_csv_roundtrip():
+    rows = [["a", 1, 2.5], ["b,c", 3, 4.0]]
+    out = to_csv(["name", "x", "y"], rows)
+    parsed = list(csv.reader(io.StringIO(out)))
+    assert parsed[0] == ["name", "x", "y"]
+    assert parsed[1] == ["a", "1", "2.5"]
+    assert parsed[2] == ["b,c", "3", "4.0"]  # comma survives quoting
+
+
+def test_to_markdown_shape():
+    out = to_markdown(["h1", "h2"], [[1, 2.0]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "**T**"
+    assert lines[2] == "| h1 | h2 |"
+    assert lines[3] == "|---|---|"
+    assert lines[4] == "| 1 | 2.000 |"
+
+
+def test_to_markdown_no_title():
+    out = to_markdown(["a"], [[1]])
+    assert out.splitlines()[0] == "| a |"

@@ -1,0 +1,137 @@
+"""Tests for the deterministic RNG and time units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SimRNG
+from repro.sim.units import (
+    MSEC,
+    SEC,
+    USEC,
+    ms_from_ns,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+    s_from_ns,
+    us_from_ns,
+)
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+def test_unit_constants():
+    assert USEC == 1_000
+    assert MSEC == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+@pytest.mark.parametrize(
+    "fn,val,expected",
+    [
+        (ns_from_us, 1, 1_000),
+        (ns_from_ms, 30, 30 * MSEC),
+        (ns_from_ms, 0.3, 300_000),
+        (ns_from_s, 2, 2 * SEC),
+        (ns_from_us, 0.5, 500),
+    ],
+)
+def test_conversions_to_ns(fn, val, expected):
+    out = fn(val)
+    assert out == expected
+    assert isinstance(out, int)
+
+
+def test_conversions_from_ns():
+    assert ms_from_ns(30 * MSEC) == 30.0
+    assert us_from_ns(1500) == 1.5
+    assert s_from_ns(SEC) == 1.0
+
+
+@given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+def test_ms_roundtrip_close(ms):
+    assert ms_from_ns(ns_from_ms(ms)) == pytest.approx(ms, rel=1e-6, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# RNG
+# ----------------------------------------------------------------------
+def test_same_seed_same_draws():
+    a, b = SimRNG(42), SimRNG(42)
+    assert [a.uniform_ns(0, 1000) for _ in range(20)] == [
+        b.uniform_ns(0, 1000) for _ in range(20)
+    ]
+
+
+def test_different_seeds_differ():
+    a, b = SimRNG(1), SimRNG(2)
+    assert [a.uniform_ns(0, 10**9) for _ in range(5)] != [
+        b.uniform_ns(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_substream_deterministic():
+    a = SimRNG(7).substream(1, 2, 3)
+    b = SimRNG(7).substream(1, 2, 3)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_substreams_independent_of_draw_order():
+    root = SimRNG(7)
+    s1 = root.substream(1)
+    _ = [s1.random() for _ in range(100)]  # drain one stream
+    s2a = root.substream(2)
+    s2b = SimRNG(7).substream(2)
+    assert [s2a.random() for _ in range(10)] == [s2b.random() for _ in range(10)]
+
+
+def test_distinct_substreams_differ():
+    root = SimRNG(0)
+    assert root.substream(1).random() != root.substream(2).random()
+
+
+def test_jittered_mean_is_close():
+    rng = SimRNG(3)
+    draws = [rng.jittered_ns(1_000_000, 0.2) for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(1_000_000, rel=0.05)
+    assert all(d >= 1 for d in draws)
+
+
+def test_jittered_zero_cv_exact():
+    rng = SimRNG(3)
+    assert rng.jittered_ns(12345, 0.0) == 12345
+
+
+def test_jittered_nonpositive_mean():
+    rng = SimRNG(3)
+    assert rng.jittered_ns(0, 0.5) == 0
+    assert rng.jittered_ns(-5, 0.5) == 0
+
+
+def test_exponential_positive_and_mean():
+    rng = SimRNG(9)
+    draws = [rng.exponential_ns(50_000) for _ in range(4000)]
+    assert min(draws) >= 1
+    assert np.mean(draws) == pytest.approx(50_000, rel=0.1)
+
+
+def test_uniform_bounds():
+    rng = SimRNG(11)
+    draws = [rng.uniform_ns(10, 20) for _ in range(200)]
+    assert min(draws) >= 10 and max(draws) <= 20
+    assert 10 in draws or 20 in draws or len(set(draws)) > 5
+
+
+def test_choice_with_probabilities():
+    rng = SimRNG(13)
+    picks = [rng.choice(["x", "y"], p=[0.9, 0.1]) for _ in range(500)]
+    assert picks.count("x") > 350
+
+
+def test_shuffle_is_permutation():
+    rng = SimRNG(17)
+    items = list(range(30))
+    shuffled = items[:]
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items

@@ -1,0 +1,94 @@
+"""Tests for the Eq. 1 Euclidean-metric threshold exploration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.threshold import ThresholdStudy, euclidean_metric, optimal_threshold
+from repro.sim.units import ns_from_ms
+
+
+def test_euclidean_metric_basic():
+    assert euclidean_metric([0, 0], [3, 4]) == 5.0
+    assert euclidean_metric([1, 2, 3], [1, 2, 3]) == 0.0
+
+
+def test_euclidean_metric_length_mismatch():
+    with pytest.raises(ValueError):
+        euclidean_metric([1], [1, 2])
+
+
+def test_paper_metric_values_reproduce_selection():
+    """Feed the paper's printed metrics back through argmin: the paper's
+    metric values {0.034, 0.020, 0.018, 0.049, 0.039, 0.069} pick 0.3 ms."""
+    slices = [ns_from_ms(s) for s in (0.5, 0.4, 0.3, 0.2, 0.1, 0.03)]
+    paper_metrics = dict(zip(slices, (0.034, 0.020, 0.018, 0.049, 0.039, 0.069)))
+    best = min(slices, key=lambda s: paper_metrics[s])
+    assert best == ns_from_ms(0.3)
+
+
+def test_optimal_threshold_simple_case():
+    # two apps; slice B dominates
+    perf = {
+        100: [1.0, 0.8],
+        200: [0.7, 0.7],
+        300: [0.9, 1.0],
+    }
+    best, metrics = optimal_threshold(perf)
+    assert best == 200
+    assert metrics[200] == 0.0
+
+
+def test_optimal_threshold_tie_prefers_longer_slice():
+    perf = {100: [0.5], 200: [0.5]}
+    best, _ = optimal_threshold(perf)
+    assert best == 200  # longer slice = fewer context switches, same perf
+
+
+def test_optimal_threshold_validates_input():
+    with pytest.raises(ValueError):
+        optimal_threshold({})
+    with pytest.raises(ValueError):
+        optimal_threshold({1: [1.0], 2: [1.0, 2.0]})
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=1, max_value=100),
+        st.lists(st.floats(min_value=0.01, max_value=10), min_size=3, max_size=3),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_optimal_threshold_properties(perf):
+    best, metrics = optimal_threshold(perf)
+    assert best in perf
+    assert metrics[best] == min(metrics.values())
+    assert all(m >= 0 and math.isfinite(m) for m in metrics.values())
+
+
+def test_threshold_study_end_to_end():
+    slices = [100, 200]
+    study = ThresholdStudy(slices, ["a", "b"])
+    study.record("a", 100, 10.0)
+    study.record("a", 200, 20.0)
+    study.record("b", 100, 40.0)
+    study.record("b", 200, 20.0)
+    norm = study.normalized()
+    assert norm[100] == [0.5, 1.0]
+    assert norm[200] == [1.0, 0.5]
+    best, metrics = study.solve()
+    assert metrics[100] == pytest.approx(metrics[200])
+
+
+def test_threshold_study_validates():
+    with pytest.raises(ValueError):
+        ThresholdStudy([], ["a"])
+    study = ThresholdStudy([1], ["a"])
+    with pytest.raises(KeyError):
+        study.record("zzz", 1, 1.0)
+    with pytest.raises(KeyError):
+        study.record("a", 999, 1.0)
+    with pytest.raises(ValueError):
+        study.normalized()  # missing measurements
