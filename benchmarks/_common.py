@@ -7,20 +7,39 @@ shorter horizons — but preserve the paper's over-commitment ratio
 normalized-execution-time *shapes* match.  Set ``REPRO_FULL=1`` for
 paper-scale sweeps (slow: hours).
 
+Grid-shaped benchmarks declare their cells as ``RunSpec`` lists and
+execute them through the shared sweep runner
+(:mod:`repro.experiments.runner`): ``REPRO_JOBS=N`` fans the cells over N
+worker processes (bit-identical to serial), and ``REPRO_BENCH_CACHE=1``
+re-uses cached cells (off by default so benchmark timings stay honest).
+
 Benchmarks run each simulation exactly once through
 ``benchmark.pedantic`` (a cloud-scale discrete-event run is seconds long
 and deterministic; statistical repetition adds nothing) and print the
 regenerated table rows so `pytest benchmarks/ --benchmark-only -s`
-reproduces the paper's figures as text.
+reproduces the paper's figures as text.  ``emit`` additionally writes
+each table as ``BENCH_<name>.json`` under ``REPRO_BENCH_DIR`` (default
+``benchmarks/results/``) so the perf trajectory is machine-readable.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_sweep
 
-__all__ = ["full_scale", "fig_nodes", "fig_apps", "fig_slices_ms", "run_once", "emit"]
+__all__ = [
+    "full_scale",
+    "fig_nodes",
+    "fig_apps",
+    "fig_slices_ms",
+    "run_once",
+    "run_grid",
+    "emit",
+]
 
 
 def full_scale() -> bool:
@@ -49,7 +68,45 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def emit(title: str, headers, rows) -> None:
-    """Print a regenerated paper table."""
+def run_grid(benchmark, specs, jobs=None, use_cache=None):
+    """Execute a grid of ``RunSpec`` cells through the shared sweep runner.
+
+    The whole sweep is timed as one pedantic round.  Any failed cell
+    fails the benchmark with its structured error record.  Returns the
+    ``RunResult`` list in spec order.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if use_cache is None:
+        use_cache = os.environ.get("REPRO_BENCH_CACHE", "0") == "1"
+    results = benchmark.pedantic(
+        lambda: run_sweep(specs, jobs=jobs, use_cache=use_cache),
+        rounds=1,
+        iterations=1,
+    )
+    failed = [r for r in results if not r.ok]
+    assert not failed, f"{len(failed)} cells failed; first: {failed[0].error}"
+    return results
+
+
+def _bench_name(title: str) -> str:
+    """Slug a table title into a BENCH_<name>.json file stem."""
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_").lower()
+    return slug or "table"
+
+
+def emit(title: str, headers, rows, name: str | None = None) -> None:
+    """Print a regenerated paper table and write it as BENCH_<name>.json."""
     print()
     print(format_table(headers, rows, title=title))
+    out_dir = os.environ.get("REPRO_BENCH_DIR", os.path.join(os.path.dirname(__file__), "results"))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name or _bench_name(title)}.json")
+    payload = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+        "full_scale": full_scale(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)

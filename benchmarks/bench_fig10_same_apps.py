@@ -5,29 +5,39 @@ Paper: ATC achieves the best normalized execution time and the best
 scalability; CS sits between ATC and BS; BS's small advantage over CR
 erodes with scale; DSS lands between CR and ATC.
 
+The (app x approach x scale) grid is declared as ``RunSpec`` cells and
+executed through the shared sweep runner (``REPRO_JOBS=N`` parallelizes
+it).
+
 Regenerates: normalized execution time per (app, approach, scale).
 """
 
-import pytest
+from repro.experiments.runner import RunSpec
 
-from repro.experiments.scenarios import run_type_a
-
-from _common import emit, fig_nodes, full_scale, run_once
+from _common import emit, fig_nodes, full_scale, run_grid, run_once
 
 APPS = ["lu", "is", "sp", "bt", "mg", "cg"] if full_scale() else ["lu", "is"]
 SCHEDS = ["CR", "BS", "CS", "DSS", "ATC"]
+
+SPECS = [
+    RunSpec(
+        "type_a",
+        dict(app_name=app, scheduler=sched, n_nodes=n, rounds=2, warmup_rounds=1),
+        label=f"fig10:{app}/{sched}/{n}",
+    )
+    for app in APPS
+    for sched in SCHEDS
+    for n in fig_nodes()
+]
+
 RESULTS: dict[tuple, float] = {}
 
 
-@pytest.mark.parametrize("n_nodes", fig_nodes())
-@pytest.mark.parametrize("sched", SCHEDS)
-@pytest.mark.parametrize("app", APPS)
-def test_fig10_cell(benchmark, app, sched, n_nodes):
-    r = run_once(
-        benchmark, run_type_a, app, sched, n_nodes, rounds=2, warmup_rounds=1
-    )
-    assert r["all_done"], f"{app}/{sched}/{n_nodes} incomplete"
-    RESULTS[(app, sched, n_nodes)] = r["mean_round_ns"]
+def test_fig10_grid(benchmark):
+    for r in run_grid(benchmark, SPECS):
+        p = r.spec.params
+        assert r.value["all_done"], f"{p['app_name']}/{p['scheduler']}/{p['n_nodes']} incomplete"
+        RESULTS[(p["app_name"], p["scheduler"], p["n_nodes"])] = r.value["mean_round_ns"]
 
 
 def test_fig10_report(benchmark):
@@ -39,7 +49,12 @@ def test_fig10_report(benchmark):
             rows = []
             for n in fig_nodes():
                 rows.append((n, *(round(norm[(app, s, n)], 3) for s in SCHEDS)))
-            emit(f"Figure 10 — {app}: normalized execution time", ["nodes", *SCHEDS], rows)
+            emit(
+                f"Figure 10 — {app}: normalized execution time",
+                ["nodes", *SCHEDS],
+                rows,
+                name=f"fig10_{app}",
+            )
         return norm
 
     norm = run_once(benchmark, report)

@@ -4,6 +4,9 @@ approaches, parallel applications only.
 Paper: ATC best (e.g. sp in VC1: ATC 0.25, DSS 0.45, CS 0.49, BS 0.9 vs
 CR 1.0); trends mirror Fig. 10.
 
+The per-approach cells are declared as ``RunSpec``\\ s and executed
+through the shared sweep runner (``REPRO_JOBS=N`` parallelizes them).
+
 Regenerates: per-VC normalized mean round times under every approach
 (normalized against CR on the *same* VC/app assignment — the seed fixes
 the trace draw across approaches).
@@ -11,23 +14,29 @@ the trace draw across approaches).
 
 import math
 
-import pytest
+from repro.experiments.runner import RunSpec
 
-from repro.experiments.scenarios import run_type_b
-
-from _common import emit, full_scale, run_once
+from _common import emit, full_scale, run_grid, run_once
 
 SCHEDS = ["CR", "BS", "CS", "DSS", "ATC"]
 N_NODES = 32 if full_scale() else 6
 HORIZON = 30.0 if full_scale() else 8.0
+
+SPECS = [
+    RunSpec(
+        "type_b",
+        dict(scheduler=sched, n_nodes=N_NODES, horizon_s=HORIZON, seed=11),
+        label=f"fig11:{sched}",
+    )
+    for sched in SCHEDS
+]
+
 RESULTS: dict[str, dict] = {}
 
 
-@pytest.mark.parametrize("sched", SCHEDS)
-def test_fig11_run(benchmark, sched):
-    RESULTS[sched] = run_once(
-        benchmark, run_type_b, sched, n_nodes=N_NODES, horizon_s=HORIZON, seed=11
-    )
+def test_fig11_grid(benchmark):
+    for r in run_grid(benchmark, SPECS):
+        RESULTS[r.spec.params["scheduler"]] = r.value
 
 
 def test_fig11_report(benchmark):
@@ -44,7 +53,12 @@ def test_fig11_report(benchmark):
                 norms[(vc, s)] = val
                 row.append(round(val, 3) if val == val else "n/a")
             rows.append(tuple(row))
-        emit("Figure 11 — type B mix: normalized execution time per VC", ["VC", *SCHEDS], rows)
+        emit(
+            "Figure 11 — type B mix: normalized execution time per VC",
+            ["VC", *SCHEDS],
+            rows,
+            name="fig11",
+        )
         return norms
 
     norms = run_once(benchmark, report)

@@ -1,27 +1,38 @@
 """Headline claim (abstract / Section IV): ATC obtains 1.5-10x performance
 gains for parallel applications over CR and the other approaches.
 
+The (app x approach) grid is declared as ``RunSpec`` cells and executed
+through the shared sweep runner (``REPRO_JOBS=N`` parallelizes it).
+
 Regenerates: ATC's speedup factor over CR, CS and BS for each NPB kernel
 at the default scale, and checks the 1.5-10x band against CR.
 """
 
-import pytest
+from repro.experiments.runner import RunSpec
 
-from repro.experiments.scenarios import run_type_a
-
-from _common import emit, fig_apps, full_scale, run_once
+from _common import emit, fig_apps, full_scale, run_grid, run_once
 
 SCHEDS = ["CR", "CS", "BS", "ATC"]
 N_NODES = 8 if full_scale() else 2
+
+SPECS = [
+    RunSpec(
+        "type_a",
+        dict(app_name=app, scheduler=sched, n_nodes=N_NODES, rounds=2, warmup_rounds=1),
+        label=f"headline:{app}/{sched}",
+    )
+    for app in fig_apps()
+    for sched in SCHEDS
+]
+
 RESULTS: dict[tuple, float] = {}
 
 
-@pytest.mark.parametrize("sched", SCHEDS)
-@pytest.mark.parametrize("app", fig_apps())
-def test_headline_cell(benchmark, app, sched):
-    r = run_once(benchmark, run_type_a, app, sched, N_NODES, rounds=2, warmup_rounds=1)
-    assert r["all_done"]
-    RESULTS[(app, sched)] = r["mean_round_ns"]
+def test_headline_grid(benchmark):
+    for r in run_grid(benchmark, SPECS):
+        p = r.spec.params
+        assert r.value["all_done"], f"{p['app_name']}/{p['scheduler']} incomplete"
+        RESULTS[(p["app_name"], p["scheduler"])] = r.value["mean_round_ns"]
 
 
 def test_headline_report(benchmark):
@@ -41,6 +52,7 @@ def test_headline_report(benchmark):
             "Headline — ATC speedup factors (x) per application",
             ["app", "vs CR", "vs CS", "vs BS"],
             rows,
+            name="headline_gain",
         )
         return {r[0]: r[1:] for r in rows}
 

@@ -4,11 +4,17 @@ Examples::
 
     python -m repro list
     python -m repro typea --app lu --scheduler ATC --nodes 2
-    python -m repro compare --app lu --nodes 2
-    python -m repro sweep --app lu --slices 30,6,1,0.3
+    python -m repro compare --app lu --nodes 2 --jobs 5
+    python -m repro sweep --app lu --slices 30,6,1,0.3 --jobs 4
     python -m repro mix --scheduler ATC --np-slice 6
     python -m repro typeb --scheduler ATC --nodes 6
     python -m repro probe --scheduler CR
+
+Sweep-shaped commands (``sweep``, ``compare``, ``typea``, ``typeb``,
+``mix``) execute through :mod:`repro.experiments.runner`: ``--jobs N``
+fans the independent cells over N worker processes (bit-identical to
+serial), results are cached under ``.repro_cache/`` (``--no-cache`` to
+bypass), and ``--json PATH`` exports the full result set.
 """
 
 from __future__ import annotations
@@ -18,17 +24,14 @@ import sys
 from typing import Optional, Sequence
 
 from repro.experiments.reporting import format_table
-from repro.experiments.scenarios import (
-    run_packet_path_probe,
-    run_slice_sweep,
-    run_small_mix,
-    run_type_a,
-    run_type_b,
-)
+from repro.experiments.runner import RunSpec, export_json, run_sweep, sweep_stats
+from repro.experiments.scenarios import run_packet_path_probe
 from repro.schedulers.registry import scheduler_names
 from repro.workloads.npb import NPB_EXTENDED
 
 __all__ = ["main", "build_parser"]
+
+COMPARE_SCHEDS = ("CR", "BS", "CS", "DSS", "ATC")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list schedulers, kernels and experiments")
 
+    def runner_opts(sp):
+        sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent cells (default 1)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache (.repro_cache/)")
+        sp.add_argument("--json", metavar="PATH", default=None,
+                        help="export the full sweep results as JSON")
+
     def common(sp, app=True):
         sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
         sp.add_argument("--nodes", type=int, default=2)
@@ -54,10 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.add_argument("--rounds", type=int, default=2)
     sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+    runner_opts(sp)
 
     sp = sub.add_parser("compare", help="type A under every approach, normalized")
     common(sp, app=True)
     sp.add_argument("--rounds", type=int, default=2)
+    runner_opts(sp)
 
     sp = sub.add_parser("sweep", help="static slice sweep under CR (Figs. 5, 8)")
     sp.add_argument("--app", default="lu", choices=NPB_EXTENDED)
@@ -65,18 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--slices", default="30,12,6,1,0.3", help="comma-separated ms values")
     sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+    runner_opts(sp)
 
     sp = sub.add_parser("mix", help="parallel + non-parallel coexistence (Figs. 2, 9)")
     sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--horizon", type=float, default=6.0, help="virtual seconds")
     sp.add_argument("--np-slice", type=float, default=None, help="admin slice (ms) for non-parallel VMs under ATC")
+    runner_opts(sp)
 
     sp = sub.add_parser("typeb", help="LLNL-trace cluster mix (Fig. 11)")
     sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
     sp.add_argument("--nodes", type=int, default=6)
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--horizon", type=float, default=8.0)
+    runner_opts(sp)
 
     sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
     sp.add_argument("--scheduler", default="CR", choices=scheduler_names())
@@ -86,17 +102,59 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _progress(done: int, total: int, result) -> None:
+    state = "cached" if result.cached else ("ok" if result.ok else "FAILED")
+    print(
+        f"[{done}/{total}] {result.spec.label}: {state} ({result.wall_s:.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def _run_cells(args, specs: list[RunSpec]) -> Optional[list]:
+    """Execute cells through the shared runner; None when any cell failed."""
+    progress = _progress if (args.jobs > 1 or len(specs) > 1) else None
+    results = run_sweep(
+        specs,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    if args.json:
+        export_json(results, args.json)
+    stats = sweep_stats(results)
+    if len(specs) > 1:
+        print(
+            f"{stats['cells']} cells: {stats['ok']} ok "
+            f"({stats['cached']} cached), {stats['failed']} failed, "
+            f"{stats['wall_s']:.2f}s simulated wall, {stats['events']} events",
+            file=sys.stderr,
+        )
+    failed = [r for r in results if not r.ok]
+    for r in failed:
+        err = r.error or {}
+        print(
+            f"cell {r.spec.label} failed after {err.get('attempts', '?')} attempts: "
+            f"{err.get('type')}: {err.get('message')}",
+            file=sys.stderr,
+        )
+    return None if failed else results
+
+
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
     print("experiments: typea, compare, sweep, mix, typeb, probe")
 
 
-def _cmd_typea(args) -> None:
-    r = run_type_a(
-        args.app, args.scheduler, args.nodes,
+def _cmd_typea(args) -> int:
+    spec = RunSpec("type_a", dict(
+        app_name=args.app, scheduler=args.scheduler, n_nodes=args.nodes,
         rounds=args.rounds, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
-    )
+    ))
+    results = _run_cells(args, [spec])
+    if results is None:
+        return 1
+    r = results[0].value
     print(
         format_table(
             ["app", "scheduler", "nodes", "mean round (ms)", "avg spin (ms)", "done"],
@@ -105,16 +163,25 @@ def _cmd_typea(args) -> None:
             title="Evaluation type A",
         )
     )
+    return 0
 
 
-def _cmd_compare(args) -> None:
-    rows = []
-    base = None
-    for sched in ("CR", "BS", "CS", "DSS", "ATC"):
-        r = run_type_a(args.app, sched, args.nodes, rounds=args.rounds, warmup_rounds=1, seed=args.seed)
-        if base is None:
-            base = r["mean_round_ns"]
-        rows.append((sched, r["mean_round_ns"] / 1e6, r["mean_round_ns"] / base))
+def _cmd_compare(args) -> int:
+    specs = [
+        RunSpec("type_a", dict(
+            app_name=args.app, scheduler=sched, n_nodes=args.nodes,
+            rounds=args.rounds, warmup_rounds=1, seed=args.seed,
+        ), label=f"compare:{sched}")
+        for sched in COMPARE_SCHEDS
+    ]
+    results = _run_cells(args, specs)
+    if results is None:
+        return 1
+    base = results[0].value["mean_round_ns"]
+    rows = [
+        (sched, r.value["mean_round_ns"] / 1e6, r.value["mean_round_ns"] / base)
+        for sched, r in zip(COMPARE_SCHEDS, results)
+    ]
     print(
         format_table(
             ["scheduler", "mean round (ms)", "normalized vs CR"],
@@ -122,16 +189,31 @@ def _cmd_compare(args) -> None:
             title=f"Type A comparison — {args.app} on {args.nodes} nodes",
         )
     )
+    return 0
 
 
-def _cmd_sweep(args) -> None:
-    slices = [float(s) for s in args.slices.split(",")]
-    r = run_slice_sweep(args.app, slices, n_nodes=args.nodes, rounds=2,
-                        warmup_rounds=1, npb_class=args.npb_class, seed=args.seed)
+def _cmd_sweep(args) -> int:
+    try:
+        slices = [float(s) for s in args.slices.split(",")]
+    except ValueError:
+        print(f"repro sweep: --slices expects comma-separated ms values, got {args.slices!r}",
+              file=sys.stderr)
+        return 2
+    specs = [
+        RunSpec("slice_sweep", dict(
+            app_name=args.app, slice_ms_values=[sm], n_nodes=args.nodes,
+            rounds=2, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
+        ), label=f"sweep:{args.app}@{sm}ms")
+        for sm in slices
+    ]
+    results = _run_cells(args, specs)
+    if results is None:
+        return 1
     rows = [
         (row["slice_ms"], row["mean_round_ns"] / 1e6, row["avg_spin_ns"] / 1e6,
          row["context_switches"], row["llc_misses"])
-        for row in r["rows"]
+        for r in results
+        for row in r.value["rows"]
     ]
     print(
         format_table(
@@ -140,11 +222,18 @@ def _cmd_sweep(args) -> None:
             title=f"Slice sweep — {args.app}.{args.npb_class} (CR)",
         )
     )
+    return 0
 
 
-def _cmd_mix(args) -> None:
-    r = run_small_mix(args.scheduler, seed=args.seed, horizon_s=args.horizon,
-                      atc_np_slice_ms=args.np_slice)
+def _cmd_mix(args) -> int:
+    spec = RunSpec("small_mix", dict(
+        scheduler=args.scheduler, seed=args.seed, horizon_s=args.horizon,
+        atc_np_slice_ms=args.np_slice,
+    ))
+    results = _run_cells(args, [spec])
+    if results is None:
+        return 1
+    r = results[0].value
     rows = [
         ("parallel mean round (ms)", r["parallel_mean_round_ns"] / 1e6),
         ("sphinx3 run (ms)", r["sphinx3_mean_run_ns"] / 1e6),
@@ -156,10 +245,18 @@ def _cmd_mix(args) -> None:
     if args.np_slice is not None:
         title += f" (non-parallel slice {args.np_slice} ms)"
     print(format_table(["metric", "value"], rows, title=title))
+    return 0
 
 
-def _cmd_typeb(args) -> None:
-    r = run_type_b(args.scheduler, n_nodes=args.nodes, seed=args.seed, horizon_s=args.horizon)
+def _cmd_typeb(args) -> int:
+    spec = RunSpec("type_b", dict(
+        scheduler=args.scheduler, n_nodes=args.nodes, seed=args.seed,
+        horizon_s=args.horizon,
+    ))
+    results = _run_cells(args, [spec])
+    if results is None:
+        return 1
+    r = results[0].value
     rows = [
         (vc["vc"], vc["app"], vc["n_vms"], vc["rounds"],
          vc["mean_round_ns"] / 1e6 if vc["mean_round_ns"] == vc["mean_round_ns"] else "n/a")
@@ -172,9 +269,10 @@ def _cmd_typeb(args) -> None:
             title=f"Type B (LLNL trace mix) — {args.scheduler} on {args.nodes} nodes",
         )
     )
+    return 0
 
 
-def _cmd_probe(args) -> None:
+def _cmd_probe(args) -> int:
     r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
                               n_probes=args.probes, seed=args.seed)
     rows = [
@@ -191,6 +289,7 @@ def _cmd_probe(args) -> None:
             title=f"Packet-path probe — {args.scheduler} ({r['probes']} probes)",
         )
     )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -198,19 +297,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         _cmd_list()
-    elif args.command == "typea":
-        _cmd_typea(args)
-    elif args.command == "compare":
-        _cmd_compare(args)
-    elif args.command == "sweep":
-        _cmd_sweep(args)
-    elif args.command == "mix":
-        _cmd_mix(args)
-    elif args.command == "typeb":
-        _cmd_typeb(args)
-    elif args.command == "probe":
-        _cmd_probe(args)
-    return 0
+        return 0
+    handlers = {
+        "typea": _cmd_typea,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "mix": _cmd_mix,
+        "typeb": _cmd_typeb,
+        "probe": _cmd_probe,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,8 +1,15 @@
 """Experiment harness: the CloudWorld facade, per-figure scenario
-builders, and plain-text reporting."""
+builders, the parallel sweep runner, and plain-text reporting."""
 
 from repro.experiments.harness import CloudWorld, WorldConfig
 from repro.experiments.reporting import format_normalized, format_table, to_csv, to_markdown
+from repro.experiments.runner import (
+    RunResult,
+    RunSpec,
+    export_json,
+    run_sweep,
+    sweep_stats,
+)
 from repro.experiments.scenarios import (
     full_scale,
     run_packet_path_probe,
@@ -16,6 +23,11 @@ from repro.experiments.scenarios import (
 __all__ = [
     "CloudWorld",
     "WorldConfig",
+    "RunResult",
+    "RunSpec",
+    "export_json",
+    "run_sweep",
+    "sweep_stats",
     "format_normalized",
     "format_table",
     "to_csv",

@@ -215,10 +215,17 @@ class CloudWorld:
             warmup_rounds=warmup_rounds,
         )
         if rounds is None:
-            self.background.append(app)
+            self._register_background(app)
         else:
             app.on_complete = self._app_complete
             self.apps.append(app)
+            if self._started:
+                # Late-registered tracked app: the world is live, so it must
+                # start now and join the completion countdown, otherwise it
+                # would silently never run (and a stale countdown could stop
+                # the simulation before it finishes).
+                self._pending_apps += 1
+                app.start()
         return app
 
     def _app_complete(self, app: ParallelApp) -> None:
@@ -226,36 +233,45 @@ class CloudWorld:
         if self._pending_apps <= 0:
             self.sim.stop()
 
-    def add_cpu_app(self, name: str, vm: VM) -> CpuApp:
-        app = CpuApp(self.sim, vm, CPU_APP_SPECS[name], self._next_rng())
+    def _register_background(self, app):
+        """Track a background workload; start it at once if the world runs."""
         self.background.append(app)
+        if self._started:
+            app.start()
         return app
+
+    def add_cpu_app(self, name: str, vm: VM) -> CpuApp:
+        return self._register_background(
+            CpuApp(self.sim, vm, CPU_APP_SPECS[name], self._next_rng())
+        )
 
     def add_stream(self, vm: VM) -> StreamApp:
-        app = StreamApp(self.sim, vm, self._next_rng())
-        self.background.append(app)
-        return app
+        return self._register_background(StreamApp(self.sim, vm, self._next_rng()))
 
     def add_bonnie(self, vm: VM) -> BonnieApp:
-        app = BonnieApp(self.sim, vm, self._next_rng())
-        self.background.append(app)
-        return app
+        return self._register_background(BonnieApp(self.sim, vm, self._next_rng()))
 
     def add_ping(self, vm: VM, peer_vm: VM, interval_ns: int = 10 * MSEC) -> PingApp:
-        app = PingApp(self.sim, vm, peer_vm, self._next_rng(), interval_ns=interval_ns)
-        self.background.append(app)
-        return app
+        return self._register_background(
+            PingApp(self.sim, vm, peer_vm, self._next_rng(), interval_ns=interval_ns)
+        )
 
     def add_webserver(self, server_vm: VM, client_vm: VM, **kw) -> WebServerApp:
-        app = WebServerApp(self.sim, server_vm, client_vm, self._next_rng(), **kw)
-        self.background.append(app)
-        return app
+        return self._register_background(
+            WebServerApp(self.sim, server_vm, client_vm, self._next_rng(), **kw)
+        )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start VMM period ticks and all registered workloads."""
+        """Start VMM period ticks and all registered workloads.
+
+        Idempotent.  Workloads registered *after* the world has started
+        are started immediately by their ``add_*`` builder (and tracked
+        apps join the completion countdown), so staged scenarios — run,
+        add more load, run again — behave as expected.
+        """
         if self._started:
             return
         self._started = True

@@ -5,6 +5,8 @@ from __future__ import annotations
 import io
 from typing import Mapping, Sequence
 
+from repro.metrics.summary import normalize_map
+
 __all__ = ["format_table", "format_normalized", "to_csv", "to_markdown"]
 
 
@@ -26,9 +28,13 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
 
 
 def format_normalized(results: Mapping[str, float], baseline: str = "CR", title: str = "") -> str:
-    """Render a {approach: time} map as normalized-vs-baseline rows."""
-    base = results[baseline]
-    rows = [(k, v / base) for k, v in results.items()]
+    """Render a {approach: time} map as normalized-vs-baseline rows.
+
+    Division goes through :func:`repro.metrics.summary.normalize_map`, so a
+    missing or zero baseline raises the same descriptive error everywhere
+    normalization happens, instead of a bare ``KeyError``/``ZeroDivisionError``.
+    """
+    rows = list(normalize_map(results, baseline).items())
     return format_table(["approach", f"normalized vs {baseline}"], rows, title=title)
 
 

@@ -1,0 +1,340 @@
+"""Parallel sweep execution: fan independent simulation cells over workers.
+
+Every figure the reproduction regenerates is a sweep over independent,
+deterministic cells (scheduler x app x scale x slice).  Each cell owns its
+own :class:`~repro.sim.engine.Simulator` and seeded
+:class:`~repro.sim.rng.SimRNG`, so cells can run in any order on any
+number of processes and still produce bit-identical results — parallelism
+here is a matter of not sharing state, not of luck.
+
+The moving parts:
+
+* :class:`RunSpec` — a picklable description of one cell: a scenario name
+  from :data:`SCENARIOS` plus JSON-serializable keyword arguments.
+* :class:`RunResult` — the outcome of one cell: the scenario's result dict
+  on success, or a structured error record (type, message, traceback,
+  attempts) on failure.  A failing cell never aborts the sweep.
+* :func:`run_sweep` — executes a list of specs, serially (``jobs=1``) or
+  over a ``ProcessPoolExecutor`` (``jobs=N``), consulting an on-disk
+  result cache under ``.repro_cache/`` keyed by a content hash of the
+  spec plus a code-version salt (any change to ``repro``'s sources
+  invalidates every cached cell).
+* :func:`sweep_stats` / :func:`export_json` — wall-clock and
+  events-processed aggregates, and machine-readable result dumps.
+
+Typical use::
+
+    specs = [RunSpec("type_a", {"app_name": a, "scheduler": s, "n_nodes": 2})
+             for a in ("lu", "is") for s in ("CR", "ATC")]
+    results = run_sweep(specs, jobs=4)
+    for r in results:
+        print(r.spec.label, r.value["mean_round_ns"] if r.ok else r.error)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.experiments import scenarios
+
+__all__ = [
+    "SCENARIOS",
+    "RunSpec",
+    "RunResult",
+    "run_sweep",
+    "sweep_stats",
+    "export_json",
+    "default_cache_dir",
+    "code_salt",
+]
+
+#: Scenario registry: every cell names one of these builders.  Keeping the
+#: callable out of the spec keeps specs picklable and content-hashable.
+SCENARIOS: dict[str, Callable[..., dict]] = {
+    "type_a": scenarios.run_type_a,
+    "slice_sweep": scenarios.run_slice_sweep,
+    "small_mix": scenarios.run_small_mix,
+    "type_b": scenarios.run_type_b,
+    "type_b_mixed": scenarios.run_type_b_mixed,
+    "packet_path_probe": scenarios.run_packet_path_probe,
+}
+
+_CACHE_VERSION = 1
+_code_salt_memo: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """The sweep result cache root (override with ``REPRO_CACHE_DIR``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def code_salt() -> str:
+    """Content hash of every ``repro`` source file.
+
+    Folded into each cell's cache key so that *any* change to the
+    simulator invalidates *every* cached result — simulation outputs
+    depend on the whole code path, not just the spec.
+    """
+    global _code_salt_memo
+    if _code_salt_memo is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for p in sorted(root.rglob("*.py")):
+            h.update(str(p.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(p.read_bytes())
+        _code_salt_memo = h.hexdigest()[:16]
+    return _code_salt_memo
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation cell.
+
+    ``scenario`` names an entry of :data:`SCENARIOS`; ``params`` are its
+    keyword arguments and must be JSON-serializable (they form the cache
+    key).  ``label`` is only for progress display and defaults to a
+    compact rendering of the params.
+    """
+
+    scenario: str
+    params: Mapping = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {self.scenario!r}; known: {sorted(SCENARIOS)}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        self.key()  # fail fast on non-JSON-serializable params
+        if not self.label:
+            short = ",".join(f"{k}={v}" for k, v in self.params.items())
+            object.__setattr__(self, "label", f"{self.scenario}({short})")
+
+    def key(self) -> str:
+        """Canonical JSON identity of the cell (scenario + params)."""
+        return json.dumps(
+            {"scenario": self.scenario, "params": self.params},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def digest(self, salt: Optional[str] = None) -> str:
+        """Cache key: SHA-256 over the canonical spec + code-version salt."""
+        salt = code_salt() if salt is None else salt
+        payload = f"v{_CACHE_VERSION}|{salt}|{self.key()}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario, "params": dict(self.params), "label": self.label}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one cell: value dict on success, error record on failure."""
+
+    spec: RunSpec
+    ok: bool
+    value: Optional[dict] = None
+    #: Structured failure record: {"type", "message", "traceback", "attempts"}.
+    error: Optional[dict] = None
+    wall_s: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def events(self) -> int:
+        """Simulator events processed by this cell (0 when unreported)."""
+        if self.ok and isinstance(self.value, dict):
+            return int(self.value.get("events", 0))
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "ok": self.ok,
+            "value": self.value,
+            "error": self.error,
+            "wall_s": self.wall_s,
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs in worker processes; must stay picklable/top-level)
+# ----------------------------------------------------------------------
+def _execute_cell(spec: RunSpec, retries: int = 1) -> dict:
+    """Run one cell with retry; always returns a plain (picklable) dict."""
+    fn = SCENARIOS[spec.scenario]
+    attempts = 0
+    last_exc: Optional[BaseException] = None
+    t0 = time.perf_counter()
+    while attempts <= retries:
+        attempts += 1
+        try:
+            value = fn(**spec.params)
+            return {
+                "ok": True,
+                "value": value,
+                "error": None,
+                "wall_s": time.perf_counter() - t0,
+                "attempts": attempts,
+            }
+        except Exception as exc:  # noqa: BLE001 - converted to a record
+            last_exc = exc
+    return {
+        "ok": False,
+        "value": None,
+        "error": {
+            "type": type(last_exc).__name__,
+            "message": str(last_exc),
+            "traceback": "".join(traceback.format_exception(last_exc)),
+            "attempts": attempts,
+        },
+        "wall_s": time.perf_counter() - t0,
+        "attempts": attempts,
+    }
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def _cache_load(cache_dir: Path, digest: str) -> Optional[dict]:
+    path = cache_dir / f"{digest}.json"
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if entry.get("cache_version") != _CACHE_VERSION:
+        return None
+    return entry.get("value")
+
+
+def _cache_store(cache_dir: Path, digest: str, spec: RunSpec, value: dict, salt: str) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{digest}.json"
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    entry = {
+        "cache_version": _CACHE_VERSION,
+        "salt": salt,
+        "spec": spec.to_dict(),
+        "value": value,
+    }
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        os.replace(tmp, path)  # atomic publish; concurrent sweeps race benignly
+    except (OSError, TypeError, ValueError):
+        tmp.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Sweep driver
+# ----------------------------------------------------------------------
+def run_sweep(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[os.PathLike] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[int, int, RunResult], None]] = None,
+) -> list[RunResult]:
+    """Execute every cell, in spec order, over ``jobs`` worker processes.
+
+    Results come back in the same order as ``specs`` regardless of the
+    completion order of the workers.  ``jobs=1`` runs inline (no pool), so
+    a parallel sweep can always be checked against a serial one.  A cell
+    that raises is retried ``retries`` times and then reported as a
+    failed :class:`RunResult`; the sweep itself never aborts.
+
+    ``progress`` (if given) is invoked as ``progress(done, total, result)``
+    each time a cell settles, in completion order.
+    """
+    specs = list(specs)
+    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    salt = code_salt()
+    results: list[Optional[RunResult]] = [None] * len(specs)
+    done = 0
+
+    def settle(idx: int, result: RunResult) -> None:
+        nonlocal done
+        results[idx] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(specs), result)
+
+    # Cache pass (parent process only: no cross-process cache races).
+    misses: list[int] = []
+    for i, spec in enumerate(specs):
+        value = _cache_load(cache_root, spec.digest(salt)) if use_cache else None
+        if value is not None:
+            settle(i, RunResult(spec=spec, ok=True, value=value, cached=True))
+        else:
+            misses.append(i)
+
+    def record(idx: int, payload: dict) -> None:
+        spec = specs[idx]
+        res = RunResult(
+            spec=spec,
+            ok=payload["ok"],
+            value=payload["value"],
+            error=payload["error"],
+            wall_s=payload["wall_s"],
+            attempts=payload["attempts"],
+        )
+        if res.ok and use_cache:
+            _cache_store(cache_root, spec.digest(salt), spec, res.value, salt)
+        settle(idx, res)
+
+    if jobs <= 1 or len(misses) <= 1:
+        for i in misses:
+            record(i, _execute_cell(specs[i], retries=retries))
+    else:
+        max_workers = min(jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pending = {
+                pool.submit(_execute_cell, specs[i], retries): i for i in misses
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    record(pending.pop(fut), fut.result())
+
+    return [r for r in results if r is not None]
+
+
+def sweep_stats(results: Sequence[RunResult]) -> dict:
+    """Aggregate wall-clock / events / cache counters for a finished sweep."""
+    return {
+        "cells": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "failed": sum(1 for r in results if not r.ok),
+        "cached": sum(1 for r in results if r.cached),
+        "wall_s": sum(r.wall_s for r in results),
+        "events": sum(r.events for r in results),
+    }
+
+
+def export_json(results: Sequence[RunResult], path: os.PathLike) -> None:
+    """Dump a sweep (specs, values, errors, stats) as machine-readable JSON."""
+    payload = {
+        "code_salt": code_salt(),
+        "stats": sweep_stats(results),
+        "results": [r.to_dict() for r in results],
+    }
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)

@@ -137,6 +137,7 @@ def run_slice_sweep(
     spinlock latency, LLC misses and context switches.
     """
     rows = []
+    total_events = 0
     for sm in slice_ms_values:
         world = _world(
             n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm), vcpus_per_vm=vcpus_per_vm
@@ -164,7 +165,8 @@ def run_slice_sweep(
                 "all_done": world.all_apps_done,
             }
         )
-    return {"app": app_name, "npb_class": npb_class, "rows": rows}
+        total_events += world.sim.events_processed
+    return {"app": app_name, "npb_class": npb_class, "rows": rows, "events": total_events}
 
 
 def run_small_mix(
@@ -217,6 +219,8 @@ def run_small_mix(
         "ping_mean_rtt_ns": ping.mean_rtt_ns,
         "ping_samples": len(ping.rtts),
         "parallel_mean_round_ns": mean([t for a in bg_apps for t in a.round_times]),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
     }
 
 
@@ -271,6 +275,8 @@ def run_type_b(
             {"app": a.spec.name, "mean_round_ns": a.mean_round_ns, "rounds": len(a.round_times)}
             for a in indep_apps
         ],
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
     }
 
 
@@ -351,6 +357,8 @@ def run_type_b_mixed(
         "independent_mean_round_ns": mean(
             [t for a in indep_apps for t in a.round_times]
         ),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
     }
 
 
@@ -412,6 +420,8 @@ def run_packet_path_probe(
         "mean_netback_rx_wait_ns": mean([p.t_delivered - p.t_arrive for p in stamped]),
         "mean_consume_wait_ns": mean([p.t_consumed - p.t_delivered for p in stamped]),
         "mean_end_to_end_ns": mean([p.t_consumed - p.t_send for p in stamped]),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
     }
 
 

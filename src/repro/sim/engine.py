@@ -108,7 +108,12 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def stop(self) -> None:
-        """Stop the run loop after the current event returns."""
+        """Stop the run loop after the current event returns.
+
+        A stopped run leaves :attr:`now` at the last processed event (the
+        clock is *not* advanced to a pending ``until`` deadline), so a
+        subsequent :meth:`run` resumes exactly where the stop happened.
+        """
         self._stopped = True
 
     def peek(self) -> Optional[int]:
@@ -139,9 +144,15 @@ class Simulator:
         """Run until the queue drains, ``until`` (ns) is reached, or
         ``max_events`` callbacks have executed.
 
-        When ``until`` is given and the queue still holds later events, the
-        clock is advanced to exactly ``until`` so repeated ``run`` calls
-        compose naturally.
+        When ``until`` is given and no runnable event at or before it
+        remains, the clock is advanced to exactly ``until`` so repeated
+        ``run`` calls compose naturally.  This holds on every exit path,
+        including ``max_events`` exhaustion: if the budget ran out but the
+        queue is drained up to ``until``, the clock still lands on
+        ``until``; if runnable events at or before ``until`` remain, the
+        clock stays at the last processed event so the next ``run`` call
+        resumes without skipping them.  A :meth:`stop` likewise leaves
+        ``now`` at the last processed event.
         """
         self._stopped = False
         heap = self._heap
@@ -163,9 +174,11 @@ class Simulator:
             self.events_processed += 1
             processed += 1
             if max_events is not None and processed >= max_events:
-                return
+                break
         if until is not None and self.now < until and not self._stopped:
-            self.now = until
+            nxt = self.peek()
+            if nxt is None or nxt > until:
+                self.now = until
 
     # ------------------------------------------------------------------
     # Introspection

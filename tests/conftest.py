@@ -44,6 +44,12 @@ def add_guest_vm(vmm, n_vcpus=1, name=None, is_parallel=False, spin_block_ns=Non
     return vm
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Keep sweep-runner cache writes out of the working tree during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture
 def sim():
     return Simulator()

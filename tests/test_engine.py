@@ -189,3 +189,40 @@ def test_large_volume_determinism():
 def test_float_times_coerced_to_int(sim):
     sim.at(10.7, lambda: None)
     assert sim.peek() == 10
+
+
+def test_max_events_with_until_advances_drained_clock(sim):
+    """Regression: max_events exhaustion must still finalize the clock when
+    no runnable event at or before ``until`` remains, so repeated
+    ``run(until=now+horizon)`` calls compose."""
+    for i in range(3):
+        sim.at(i * 10, lambda: None)
+    sim.run(until=50, max_events=3)
+    assert sim.events_processed == 3
+    assert sim.now == 50  # drained up to the deadline -> lands on it
+
+
+def test_max_events_keeps_clock_when_events_remain(sim):
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(20, lambda: fired.append(20))
+    sim.run(until=50, max_events=1)
+    assert fired == [10]
+    assert sim.now == 10  # event at 20 is still runnable; don't skip past it
+    sim.run(until=50)
+    assert fired == [10, 20]
+    assert sim.now == 50
+
+
+def test_max_events_with_later_events_advances_to_until(sim):
+    sim.at(10, lambda: None)
+    sim.at(100, lambda: None)
+    sim.run(until=50, max_events=1)
+    assert sim.now == 50  # only remaining event is beyond the deadline
+
+
+def test_stop_leaves_clock_at_last_event(sim):
+    sim.at(10, sim.stop)
+    sim.at(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 10

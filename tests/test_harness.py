@@ -128,3 +128,52 @@ def test_nonparallel_builders():
     assert bonnie.pass_times
     assert ping.rtts
     assert web.response_times
+
+
+def test_late_tracked_app_starts_and_gates_run():
+    """Regression: a tracked app added after start() must run and join the
+    completion countdown instead of being silently ignored."""
+    w = CloudWorld(WorldConfig(n_nodes=2, seed=1))
+    vc1 = w.virtual_cluster(2)
+    app1 = w.add_npb("is", vc1.vms, rounds=1, warmup_rounds=0)
+    w.run(horizon_ns=600 * SEC)
+    assert app1.finished
+
+    vc2 = w.virtual_cluster(2)
+    app2 = w.add_npb("is", vc2.vms, rounds=1, warmup_rounds=0)
+    t_added = w.sim.now
+    w.run(horizon_ns=600 * SEC)
+    assert app2.finished
+    assert w.all_apps_done
+    assert w.sim.now < t_added + 600 * SEC  # countdown stopped the sim early
+
+
+def test_late_tracked_app_does_not_inherit_stale_countdown():
+    """A second add_npb + run() must not end early off app1's completion."""
+    w = CloudWorld(WorldConfig(n_nodes=2, seed=1))
+    vc1 = w.virtual_cluster(2)
+    w.add_npb("is", vc1.vms, rounds=1, warmup_rounds=0)
+    w.run(horizon_ns=1 * SEC)  # world is started; app1 may or may not be done
+
+    vc2 = w.virtual_cluster(2)
+    app2 = w.add_npb("is", vc2.vms, rounds=2, warmup_rounds=0)
+    w.run(horizon_ns=600 * SEC)
+    assert app2.finished
+
+
+def test_late_background_app_starts_immediately():
+    """Regression: background workloads registered after start() were never
+    started; they must begin producing samples on the next run()."""
+    w = CloudWorld(WorldConfig(n_nodes=2, seed=0))
+    v1, v2 = w.new_vm(name="a"), w.new_vm(name="b")
+    w.run(horizon_ns=1 * SEC)
+
+    sphinx = w.add_cpu_app("sphinx3", v1)
+    stream = w.add_stream(v1)
+    ping = w.add_ping(v1, v2, interval_ns=5 * MSEC)
+    bg = w.add_npb("is", [v2], rounds=None, warmup_rounds=0, procs_per_vm=4)
+    w.run(horizon_ns=2 * SEC)
+    assert sphinx.run_times
+    assert stream.run_times
+    assert ping.rtts
+    assert bg.round_times

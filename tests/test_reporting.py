@@ -47,3 +47,18 @@ def test_to_markdown_shape():
 def test_to_markdown_no_title():
     out = to_markdown(["a"], [[1]])
     assert out.splitlines()[0] == "| a |"
+
+
+def test_format_normalized_uses_shared_normalization():
+    out = format_normalized({"CR": 2.0, "ATC": 1.0})
+    assert "0.500" in out and "1.000" in out
+
+
+def test_format_normalized_missing_baseline_is_descriptive():
+    with pytest.raises(KeyError, match="baseline 'CR' missing"):
+        format_normalized({"ATC": 1.0}, baseline="CR")
+
+
+def test_format_normalized_zero_baseline_is_descriptive():
+    with pytest.raises(ZeroDivisionError, match="baseline execution time is zero"):
+        format_normalized({"CR": 0.0, "ATC": 1.0})
