@@ -1,0 +1,248 @@
+"""Static determinism/correctness lint for the DES core.
+
+An AST-based checker framework: each rule family lives in one module
+under :mod:`repro.analysis.rules` and carries a stable code (RPR001,
+RPR010, ...).  The linter walks ``src/repro`` and ``benchmarks/`` (or any
+paths given), parses every ``*.py`` file once, runs each rule over the
+tree, and reports findings as ``path:line:col: CODE message``.
+
+Suppression
+-----------
+A finding is suppressed by a pragma comment on the flagged line::
+
+    t0 = time.perf_counter()  # repro: ignore[RPR001]
+
+``# repro: ignore`` without a bracket list suppresses every rule on that
+line; ``# repro: ignore[RPR001,RPR010]`` suppresses only those codes.
+Suppressions are deliberate and visible — the pragma is the audit trail
+for why a forbidden pattern is actually fine (e.g. host wall-clock
+measurement in the sweep runner, which never feeds simulation state).
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error (bad path/arg).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, TextIO
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "run_lint",
+]
+
+#: Reserved code for files the linter cannot parse.
+PARSE_ERROR_CODE = "RPR000"
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Per-file state shared by every rule: source text and pragma index."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        #: line number -> set of suppressed codes ("*" = all codes).
+        self.pragmas: dict[int, set[str]] = {}
+        for i, text in enumerate(self.lines, start=1):
+            m = _PRAGMA_RE.search(text)
+            if m is None:
+                continue
+            codes = m.group(1)
+            if codes is None or not codes.strip():
+                self.pragmas[i] = {"*"}
+            else:
+                self.pragmas[i] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+    # ------------------------------------------------------------------
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        """Build a Finding anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.pragmas.get(finding.line)
+        if not codes:
+            return False
+        return "*" in codes or finding.code in codes
+
+
+class Rule(abc.ABC):
+    """One lint rule family: a stable code, a summary, and an AST check."""
+
+    #: Stable rule code (``RPRxxx``).  Never reuse a retired code.
+    code: str = ""
+    #: One-line description for ``repro lint --list-rules`` and the docs.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code}: {self.summary}>"
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _default_rules() -> Sequence[Rule]:
+    from repro.analysis.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint one source string; returns sorted, pragma-filtered findings."""
+    ctx = FileContext(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=PARSE_ERROR_CODE,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else _default_rules():
+        for f in rule.check(tree, ctx):
+            if not ctx.suppressed(f):
+                findings.append(f)
+    findings.sort()
+    return findings
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+    """Lint one file on disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" not in f.parts:
+                    yield f
+        else:
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for f in _iter_py_files(Path(p) for p in paths):
+        findings.extend(lint_file(f, rules=rules))
+    findings.sort()
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    lines = [f.format() for f in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: {"findings": [...], "count": N}."""
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+        indent=2,
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI driver (called from ``python -m repro lint``)
+# ----------------------------------------------------------------------
+def run_lint(
+    paths: Sequence[str],
+    fmt: str = "text",
+    select: Optional[Sequence[str]] = None,
+    list_rules: bool = False,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Execute the lint and print a report; returns the exit code."""
+    out = sys.stdout if out is None else out
+    rules = list(_default_rules())
+    if list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.summary}", file=out)
+        return 0
+    if select:
+        wanted = {c.strip().upper() for c in select if c.strip()}
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            print(f"repro lint: unknown rule code(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.code in wanted]
+    targets = [Path(p) for p in paths]
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(targets, rules=rules)
+    if fmt == "json":
+        print(render_json(findings), file=out)
+    else:
+        print(render_text(findings), file=out)
+    return 1 if findings else 0

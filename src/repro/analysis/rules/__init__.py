@@ -1,0 +1,27 @@
+"""Rule registry: one module per rule family, stable RPR codes.
+
+Retired codes are never reused; new rules take the next free number in
+their family (entropy RPR00x, ordering RPR01x, units RPR02x, exception
+hygiene RPR03x).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.entropy import EntropyCallRule, UnseededRngRule
+from repro.analysis.rules.exceptions import BareExceptRule, SwallowedExceptionRule
+from repro.analysis.rules.ordering import IdOrderingRule, SetIterationRule, SetPopRule
+from repro.analysis.rules.timeliterals import RawTimeLiteralRule
+
+__all__ = ["ALL_RULES"]
+
+#: Every active rule, in code order.
+ALL_RULES = (
+    EntropyCallRule(),
+    UnseededRngRule(),
+    IdOrderingRule(),
+    SetIterationRule(),
+    SetPopRule(),
+    RawTimeLiteralRule(),
+    BareExceptRule(),
+    SwallowedExceptionRule(),
+)

@@ -1,0 +1,128 @@
+"""Shared AST helpers for the lint rules: dotted-name resolution through
+import aliases, and set-typed binding tracking."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["ImportMap", "dotted_name", "resolve_call_target", "SetBindings", "node_key"]
+
+
+def dotted_name(node: ast.AST) -> Optional[list[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class ImportMap:
+    """Resolve local names back to the real module paths they came from.
+
+    ``import numpy as np`` maps ``np`` -> ``numpy``; ``from datetime
+    import datetime as dt`` maps ``dt`` -> ``datetime.datetime``.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    real = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = real
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, parts: list[str]) -> str:
+        """Map the leading alias of a dotted chain to its real module."""
+        head, rest = parts[0], parts[1:]
+        if head in self.names:
+            return ".".join([self.names[head], *rest])
+        if head in self.modules:
+            return ".".join([self.modules[head], *rest])
+        return ".".join(parts)
+
+
+def resolve_call_target(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Fully-qualified dotted target of a call, or None."""
+    parts = dotted_name(call.func)
+    if parts is None:
+        return None
+    return imports.resolve(parts)
+
+
+def node_key(node: ast.AST) -> Optional[str]:
+    """Stable key for a binding target: ``x`` or ``self.x`` (one level)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    """True for ``set``, ``set[int]``, ``Set[int]``, ``frozenset[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        stripped = node.value.strip()
+        return stripped.split("[")[0] in ("set", "frozenset", "Set", "FrozenSet")
+    return False
+
+
+class SetBindings:
+    """Names/attributes bound to set values anywhere in a module.
+
+    A deliberately simple module-wide binding map: names assigned a set
+    display/comprehension/``set(...)`` call, or annotated as a set type,
+    are considered set-typed everywhere.  Shadowing across scopes can
+    produce false positives; the pragma allowlist is the escape hatch.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.keys: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for tgt in node.targets:
+                    key = node_key(tgt)
+                    if key:
+                        self.keys.add(key)
+            elif isinstance(node, ast.AnnAssign):
+                key = node_key(node.target)
+                if key and (
+                    _annotation_is_set(node.annotation)
+                    or (node.value is not None and _is_set_expr(node.value))
+                ):
+                    self.keys.add(key)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                if _annotation_is_set(node.annotation):
+                    self.keys.add(node.arg)
+
+    def is_set(self, node: ast.AST) -> bool:
+        """Is this expression a set display/call or a tracked set name?"""
+        if _is_set_expr(node):
+            return True
+        key = node_key(node)
+        return key is not None and key in self.keys

@@ -1,0 +1,65 @@
+"""Rule family RPR03x: exception hygiene in event callbacks.
+
+The DES engine runs callbacks with no supervisor: an exception swallowed
+inside an event handler silently drops work (a lost wake, a missed
+dispatch) and the simulation keeps running with corrupt state — the
+resulting numbers are wrong but look fine.  Failures must propagate to
+the sweep runner, which converts them into structured failure records.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import FileContext, Finding, Rule
+
+__all__ = ["BareExceptRule", "SwallowedExceptionRule"]
+
+
+class BareExceptRule(Rule):
+    """RPR030: bare ``except:`` catches everything, including SystemExit."""
+
+    code = "RPR030"
+    summary = "bare except: catches everything; name the exception types"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.code,
+                    "bare except: hides real failures (including KeyboardInterrupt); "
+                    "catch specific exception types",
+                    node,
+                )
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all (pass / ...)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    """RPR031: exception caught and silently dropped."""
+
+    code = "RPR031"
+    summary = (
+        "exception handler swallows the error (body is only pass); "
+        "record, re-raise, or convert it to a structured failure"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and _swallows(node):
+                yield ctx.finding(
+                    self.code,
+                    "swallowed exception: an event callback that fails here "
+                    "silently corrupts simulation state; surface the failure",
+                    node,
+                )

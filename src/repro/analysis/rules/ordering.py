@@ -1,0 +1,100 @@
+"""Rule family RPR01x: interpreter-address and hash-order dependence.
+
+``id()`` values and ``set`` iteration order both depend on interpreter
+object addresses, which vary run to run (and across processes of a
+parallel sweep).  Feeding either into a scheduling or ordering decision
+breaks bit-reproducibility in exactly the way that is invisible in
+aggregate results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import FileContext, Finding, Rule
+from repro.analysis.rules.common import SetBindings
+
+__all__ = ["IdOrderingRule", "SetIterationRule", "SetPopRule"]
+
+
+class IdOrderingRule(Rule):
+    """RPR010: ``id()`` used as a key or ordering input."""
+
+    code = "RPR010"
+    summary = (
+        "id()-based keying/ordering depends on interpreter object addresses; "
+        "key on a stable identifier (vmid, vcpu index) instead"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                yield ctx.finding(
+                    self.code,
+                    "id() returns an interpreter address, which varies across "
+                    "runs and processes; key on a stable identifier instead",
+                    node,
+                )
+
+
+class SetIterationRule(Rule):
+    """RPR011: iterating an unordered set without ``sorted(...)``."""
+
+    code = "RPR011"
+    summary = (
+        "iteration over an unordered set; wrap in sorted(...) or use an "
+        "insertion-ordered structure (dict keys, list)"
+    )
+
+    _MESSAGE = (
+        "set iteration order is hash/address-dependent; wrap in sorted(...) "
+        "or keep an insertion-ordered dict/list"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        bindings = SetBindings(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                if bindings.is_set(node.iter):
+                    yield ctx.finding(self.code, self._MESSAGE, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if bindings.is_set(gen.iter):
+                        yield ctx.finding(self.code, self._MESSAGE, gen.iter)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # Order-capturing conversions of a set expression.
+                if node.func.id in ("list", "tuple", "enumerate") and node.args:
+                    if bindings.is_set(node.args[0]):
+                        yield ctx.finding(self.code, self._MESSAGE, node.args[0])
+
+
+class SetPopRule(Rule):
+    """RPR012: ``set.pop()`` removes an arbitrary (address-dependent) element."""
+
+    code = "RPR012"
+    summary = "set.pop() removes a hash/address-dependent element"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        bindings = SetBindings(tree)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and not node.args
+                and not node.keywords
+                and bindings.is_set(node.func.value)
+            ):
+                yield ctx.finding(
+                    self.code,
+                    "set.pop() removes an arbitrary element (hash-order "
+                    "dependent); pop from a sorted or insertion-ordered "
+                    "structure instead",
+                    node,
+                )

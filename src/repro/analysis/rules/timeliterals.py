@@ -1,0 +1,99 @@
+"""Rule family RPR02x: raw numeric time literals.
+
+All simulation durations are integer nanoseconds; :mod:`repro.sim.units`
+provides ``MSEC``/``USEC``/``SEC`` and the ``ns_from_*`` converters.  A
+bare ``20_000_000`` where a ``*_ns`` value is expected is unreviewable
+(20 ms? 20 µs?) and is exactly how unit mistakes slip into scheduling
+parameters.  The rule flags plain numeric constants >= 1000 (1 µs)
+bound to ``*_ns`` names — as keyword arguments, parameter defaults, or
+assignments.  Expressions built from the unit helpers (``30 * MSEC``,
+``ns_from_ms(0.3)``) do not trigger.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint import FileContext, Finding, Rule
+
+__all__ = ["RawTimeLiteralRule"]
+
+#: Smallest literal worth flagging: 1000 ns = 1 µs.  Below that the value
+#: is plausibly a count, an index, or a genuinely sub-microsecond constant.
+_MIN_MAGNITUDE = 1000
+
+
+def _raw_literal(node: ast.AST) -> Optional[ast.Constant]:
+    """The node itself when it is a bare numeric constant >= 1 µs."""
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and abs(node.value) >= _MIN_MAGNITUDE
+    ):
+        return node
+    return None
+
+
+def _ns_name(name: Optional[str]) -> bool:
+    return name is not None and name.endswith("_ns")
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class RawTimeLiteralRule(Rule):
+    """RPR020: raw numeric literal bound to a ``*_ns`` name."""
+
+    code = "RPR020"
+    summary = (
+        "raw numeric time literal where sim.units helpers are expected "
+        "(write 20 * MSEC or ns_from_ms(20), not 20_000_000)"
+    )
+
+    def _msg(self, name: str, value) -> str:
+        return (
+            f"raw literal {value!r} bound to {name!r}; use repro.sim.units "
+            "(MSEC/USEC/SEC or ns_from_*) so the magnitude is reviewable"
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    lit = _raw_literal(kw.value) if _ns_name(kw.arg) else None
+                    if lit is not None:
+                        yield ctx.finding(self.code, self._msg(kw.arg, lit.value), lit)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(node, ctx)
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    name = _target_name(tgt)
+                    lit = _raw_literal(node.value) if _ns_name(name) else None
+                    if lit is not None:
+                        yield ctx.finding(self.code, self._msg(name, lit.value), lit)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                name = _target_name(node.target)
+                lit = _raw_literal(node.value) if _ns_name(name) else None
+                if lit is not None:
+                    yield ctx.finding(self.code, self._msg(name, lit.value), lit)
+
+    def _check_defaults(self, fn, ctx: FileContext) -> Iterator[Finding]:
+        args = fn.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            lit = _raw_literal(default) if _ns_name(arg.arg) else None
+            if lit is not None:
+                yield ctx.finding(self.code, self._msg(arg.arg, lit.value), lit)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is None:
+                continue
+            lit = _raw_literal(default) if _ns_name(arg.arg) else None
+            if lit is not None:
+                yield ctx.finding(self.code, self._msg(arg.arg, lit.value), lit)

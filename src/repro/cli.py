@@ -9,12 +9,19 @@ Examples::
     python -m repro mix --scheduler ATC --np-slice 6
     python -m repro typeb --scheduler ATC --nodes 6
     python -m repro probe --scheduler CR
+    python -m repro lint src/repro benchmarks
 
 Sweep-shaped commands (``sweep``, ``compare``, ``typea``, ``typeb``,
 ``mix``) execute through :mod:`repro.experiments.runner`: ``--jobs N``
 fans the independent cells over N worker processes (bit-identical to
 serial), results are cached under ``.repro_cache/`` (``--no-cache`` to
-bypass), and ``--json PATH`` exports the full result set.
+bypass), ``--json PATH`` exports the full result set, and ``--sanitize``
+runs every cell under the runtime invariant sanitizer
+(:mod:`repro.analysis.sanitizer` — read-only hooks, bit-identical
+results, violations reported as structured cell failures).
+
+``lint`` runs the static determinism checker
+(:mod:`repro.analysis.lint`) over the given paths.
 """
 
 from __future__ import annotations
@@ -53,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bypass the on-disk result cache (.repro_cache/)")
         sp.add_argument("--json", metavar="PATH", default=None,
                         help="export the full sweep results as JSON")
+        sp.add_argument("--sanitize", action="store_true",
+                        help="run cells under the runtime invariant sanitizer "
+                        "(bit-identical results; violations fail the cell)")
 
     def common(sp, app=True):
         sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
@@ -99,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--probes", type=int, default=50)
     sp.add_argument("--slice", type=float, default=None, help="uniform slice (ms)")
+    sp.add_argument("--sanitize", action="store_true",
+                    help="run under the runtime invariant sanitizer")
+
+    sp = sub.add_parser("lint", help="static determinism lint (RPR rules)")
+    sp.add_argument("paths", nargs="*", default=["src/repro", "benchmarks"],
+                    help="files/directories to lint (default: src/repro benchmarks)")
+    sp.add_argument("--format", choices=["text", "json"], default="text")
+    sp.add_argument("--select", default=None, metavar="CODES",
+                    help="comma-separated rule codes to run (default: all)")
+    sp.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
     return p
 
 
@@ -137,6 +158,11 @@ def _run_cells(args, specs: list[RunSpec]) -> Optional[list]:
             f"{err.get('type')}: {err.get('message')}",
             file=sys.stderr,
         )
+        for v in err.get("violations", [])[:10]:
+            print(
+                f"  {v['code']} @t={v['time_ns']}: {v['message']}",
+                file=sys.stderr,
+            )
     return None if failed else results
 
 
@@ -144,13 +170,14 @@ def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
     print("experiments: typea, compare, sweep, mix, typeb, probe")
+    print("tools      : lint (static determinism checks; --list-rules for codes)")
 
 
 def _cmd_typea(args) -> int:
     spec = RunSpec("type_a", dict(
         app_name=args.app, scheduler=args.scheduler, n_nodes=args.nodes,
         rounds=args.rounds, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
-    ))
+    ), sanitize=args.sanitize)
     results = _run_cells(args, [spec])
     if results is None:
         return 1
@@ -171,7 +198,7 @@ def _cmd_compare(args) -> int:
         RunSpec("type_a", dict(
             app_name=args.app, scheduler=sched, n_nodes=args.nodes,
             rounds=args.rounds, warmup_rounds=1, seed=args.seed,
-        ), label=f"compare:{sched}")
+        ), label=f"compare:{sched}", sanitize=args.sanitize)
         for sched in COMPARE_SCHEDS
     ]
     results = _run_cells(args, specs)
@@ -203,7 +230,7 @@ def _cmd_sweep(args) -> int:
         RunSpec("slice_sweep", dict(
             app_name=args.app, slice_ms_values=[sm], n_nodes=args.nodes,
             rounds=2, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
-        ), label=f"sweep:{args.app}@{sm}ms")
+        ), label=f"sweep:{args.app}@{sm}ms", sanitize=args.sanitize)
         for sm in slices
     ]
     results = _run_cells(args, specs)
@@ -229,7 +256,7 @@ def _cmd_mix(args) -> int:
     spec = RunSpec("small_mix", dict(
         scheduler=args.scheduler, seed=args.seed, horizon_s=args.horizon,
         atc_np_slice_ms=args.np_slice,
-    ))
+    ), sanitize=args.sanitize)
     results = _run_cells(args, [spec])
     if results is None:
         return 1
@@ -252,7 +279,7 @@ def _cmd_typeb(args) -> int:
     spec = RunSpec("type_b", dict(
         scheduler=args.scheduler, n_nodes=args.nodes, seed=args.seed,
         horizon_s=args.horizon,
-    ))
+    ), sanitize=args.sanitize)
     results = _run_cells(args, [spec])
     if results is None:
         return 1
@@ -274,7 +301,8 @@ def _cmd_typeb(args) -> int:
 
 def _cmd_probe(args) -> int:
     r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
-                              n_probes=args.probes, seed=args.seed)
+                              n_probes=args.probes, seed=args.seed,
+                              sanitize=args.sanitize)
     rows = [
         ("netback tx wait", r["mean_netback_tx_wait_ns"] / 1e3),
         ("wire", r["mean_wire_ns"] / 1e3),
@@ -292,6 +320,14 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import run_lint
+
+    select = None if args.select is None else args.select.split(",")
+    return run_lint(args.paths, fmt=args.format, select=select,
+                    list_rules=args.list_rules)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -305,6 +341,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mix": _cmd_mix,
         "typeb": _cmd_typeb,
         "probe": _cmd_probe,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -45,7 +45,9 @@ def optimal_threshold(perf_by_slice: Mapping[int, Sequence[float]]) -> tuple[int
     """
     if not perf_by_slice:
         raise ValueError("no candidate slices")
-    slices = list(perf_by_slice)
+    # Sorted candidates: float summation order in Eq. 1 (and the argmin
+    # scan) must not depend on the caller's dict insertion order.
+    slices = sorted(perf_by_slice)
     n_apps = len(perf_by_slice[slices[0]])
     for s in slices:
         if len(perf_by_slice[s]) != n_apps:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.cluster.network import NetworkParams
 from repro.cluster.node import NodeParams
 from repro.cluster.topology import Cluster, build_cluster
@@ -71,7 +72,10 @@ class WorldConfig:
     #: PV-spinlock grace budget: CPU time a guest waiter spins before
     #: blocking on its event channel (None = spin forever; see
     #: repro.guest.kernel.GuestKernel).
-    spin_block_ns: Optional[int] = 20_000_000
+    spin_block_ns: Optional[int] = 20 * MSEC
+    #: Install the runtime invariant sanitizer (repro.analysis.sanitizer).
+    #: Read-only hooks: a sanitized run is bit-identical to a plain one.
+    sanitize: bool = False
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -94,6 +98,9 @@ class CloudWorld:
             vmm = VMM(self.sim, node, factory, period_ns=cfg.period_ns)
             Dom0(self.sim, vmm, self.cluster.fabric, cfg.dom0_params)
             self.vmms.append(vmm)
+        self.sanitizer: Optional[SimSanitizer] = (
+            SimSanitizer(self.sim, self.vmms) if cfg.sanitize else None
+        )
         self._node_vm_load = [0] * cfg.n_nodes
         self._rng_key = 0
         self.vms: list[VM] = []
@@ -287,9 +294,15 @@ class CloudWorld:
         """Run until every tracked app finished its rounds, or the horizon.
 
         Call repeatedly to extend the horizon.
+
+        With ``WorldConfig.sanitize`` set, raises
+        :class:`~repro.analysis.sanitizer.SanitizerViolationError` if any
+        simulation invariant was violated during the run.
         """
         self.start()
         self.sim.run(until=self.sim.now + horizon_ns)
+        if self.sanitizer is not None:
+            self.sanitizer.check()
 
     @property
     def all_apps_done(self) -> bool:

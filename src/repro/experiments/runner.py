@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Optional, Sequence
 
+from repro.analysis.sanitizer import SanitizerViolationError
 from repro.experiments import scenarios
 
 __all__ = [
@@ -103,11 +104,18 @@ class RunSpec:
     keyword arguments and must be JSON-serializable (they form the cache
     key).  ``label`` is only for progress display and defaults to a
     compact rendering of the params.
+
+    ``sanitize`` runs the cell under the runtime invariant sanitizer
+    (:mod:`repro.analysis.sanitizer`).  The sanitizer's hooks are
+    read-only, so results are bit-identical either way; the flag is
+    folded into the cache key only when set, keeping existing cached
+    digests valid.
     """
 
     scenario: str
     params: Mapping = field(default_factory=dict)
     label: str = ""
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -122,11 +130,12 @@ class RunSpec:
 
     def key(self) -> str:
         """Canonical JSON identity of the cell (scenario + params)."""
-        return json.dumps(
-            {"scenario": self.scenario, "params": self.params},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        payload = {"scenario": self.scenario, "params": self.params}
+        if self.sanitize:
+            # Only present when set, so pre-existing cache digests of
+            # unsanitized cells stay valid.
+            payload["sanitize"] = True
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self, salt: Optional[str] = None) -> str:
         """Cache key: SHA-256 over the canonical spec + code-version salt."""
@@ -135,7 +144,10 @@ class RunSpec:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def to_dict(self) -> dict:
-        return {"scenario": self.scenario, "params": dict(self.params), "label": self.label}
+        d = {"scenario": self.scenario, "params": dict(self.params), "label": self.label}
+        if self.sanitize:
+            d["sanitize"] = True
+        return d
 
 
 @dataclass
@@ -176,32 +188,44 @@ class RunResult:
 def _execute_cell(spec: RunSpec, retries: int = 1) -> dict:
     """Run one cell with retry; always returns a plain (picklable) dict."""
     fn = SCENARIOS[spec.scenario]
+    kwargs = dict(spec.params)
+    if spec.sanitize:
+        kwargs["sanitize"] = True
     attempts = 0
     last_exc: Optional[BaseException] = None
-    t0 = time.perf_counter()
+    # Host wall-clock (never feeds simulation state, so exempt from the
+    # determinism lint).
+    t0 = time.perf_counter()  # repro: ignore[RPR001]
     while attempts <= retries:
         attempts += 1
         try:
-            value = fn(**spec.params)
+            value = fn(**kwargs)
             return {
                 "ok": True,
                 "value": value,
                 "error": None,
-                "wall_s": time.perf_counter() - t0,
+                "wall_s": time.perf_counter() - t0,  # repro: ignore[RPR001]
                 "attempts": attempts,
             }
+        except SanitizerViolationError as exc:
+            # Deterministic: a retry would record the same violations.
+            last_exc = exc
+            break
         except Exception as exc:  # noqa: BLE001 - converted to a record
             last_exc = exc
+    error = {
+        "type": type(last_exc).__name__,
+        "message": str(last_exc),
+        "traceback": "".join(traceback.format_exception(last_exc)),
+        "attempts": attempts,
+    }
+    if isinstance(last_exc, SanitizerViolationError):
+        error["violations"] = [v.to_dict() for v in last_exc.violations]
     return {
         "ok": False,
         "value": None,
-        "error": {
-            "type": type(last_exc).__name__,
-            "message": str(last_exc),
-            "traceback": "".join(traceback.format_exception(last_exc)),
-            "attempts": attempts,
-        },
-        "wall_s": time.perf_counter() - t0,
+        "error": error,
+        "wall_s": time.perf_counter() - t0,  # repro: ignore[RPR001]
         "attempts": attempts,
     }
 

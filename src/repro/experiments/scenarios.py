@@ -65,6 +65,7 @@ def _world(
     sched_params: Optional[SchedulerParams] = None,
     vcpus_per_vm: int = 8,
     vms_per_node: int = 4,
+    sanitize: bool = False,
 ) -> CloudWorld:
     return CloudWorld(
         WorldConfig(
@@ -75,6 +76,7 @@ def _world(
             sched_params=sched_params,
             uniform_slice_ns=uniform_slice_ns,
             seed=seed,
+            sanitize=sanitize,
         )
     )
 
@@ -91,10 +93,14 @@ def run_type_a(
     vcpus_per_vm: int = 8,
     horizon_s: float = 300.0,
     sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
     one VM per node each, all running ``app_name``."""
-    world = _world(n_nodes, scheduler, seed, sched_params=sched_params, vcpus_per_vm=vcpus_per_vm)
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
+    )
     apps = []
     for k in range(n_vclusters):
         vc = world.virtual_cluster(n_vms=n_nodes, name=f"vc{k}")
@@ -129,6 +135,7 @@ def run_slice_sweep(
     seed: int = 0,
     vcpus_per_vm: int = 8,
     horizon_s: float = 300.0,
+    sanitize: bool = False,
 ) -> dict:
     """Static slice sweep under CR (Figs. 5 and 8).
 
@@ -140,7 +147,8 @@ def run_slice_sweep(
     total_events = 0
     for sm in slice_ms_values:
         world = _world(
-            n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm), vcpus_per_vm=vcpus_per_vm
+            n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm),
+            vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
         )
         apps = []
         for k in range(n_vclusters):
@@ -177,6 +185,7 @@ def run_small_mix(
     parallel_app: str = "lu",
     atc_np_slice_ms: Optional[float] = None,
     sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Section II-A2 platform (Figs. 2 and 9): two nodes, four VMs each;
     three two-VM virtual clusters run ``parallel_app`` in the background,
@@ -192,6 +201,7 @@ def run_small_mix(
         seed,
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         sched_params=sched_params,
+        sanitize=sanitize,
     )
     bg_apps = []
     for k in range(3):
@@ -240,11 +250,12 @@ def run_type_b(
     seed: int = 0,
     horizon_s: float = 6.0,
     sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Evaluation type B (Fig. 11): LLNL-trace virtual-cluster mix, every
     cluster running a random NPB kernel repeatedly;
     independent VMs run lu.B or is.B.  Per-VC mean round times returned."""
-    world = _world(n_nodes, scheduler, seed, sched_params=sched_params)
+    world = _world(n_nodes, scheduler, seed, sched_params=sched_params, sanitize=sanitize)
     rng = world.rng.substream(999)
     mix = _scaled_vc_mix(world, rng)
     vc_apps = []
@@ -287,11 +298,12 @@ def run_type_b_mixed(
     horizon_s: float = 6.0,
     atc_np_slice_ms: Optional[float] = None,
     sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Section IV-C (Figs. 12-14): type B clusters plus independent VMs
     running lu/is and the non-parallel suite.  One extra node hosts the
     httperf client (the paper drives web load from separate machines)."""
-    world = _world(n_nodes + 1, scheduler, seed, sched_params=sched_params)
+    world = _world(n_nodes + 1, scheduler, seed, sched_params=sched_params, sanitize=sanitize)
     # keep the client node (last index) out of general placement
     world._node_vm_load[n_nodes] = world.config.vms_per_node - 1
     rng = world.rng.substream(999)
@@ -370,6 +382,7 @@ def run_packet_path_probe(
     horizon_s: float = 30.0,
     background_app: str = "lu",
     sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Fig. 4: measure the four scheduling-wait overhead sources on the
     cross-VM packet path while parallel load keeps the hosts busy.
@@ -383,6 +396,7 @@ def run_packet_path_probe(
         2, scheduler, seed,
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         sched_params=sched_params,
+        sanitize=sanitize,
     )
     for k in range(3):
         vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.guest.process import GuestProcess
+from repro.sim.units import MSEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.dom0 import Packet
@@ -40,7 +41,7 @@ class GuestKernel:
         "packet_log",
     )
 
-    def __init__(self, sim: "Simulator", vm: "VM", spin_block_ns: "int | None" = 20_000_000) -> None:
+    def __init__(self, sim: "Simulator", vm: "VM", spin_block_ns: "int | None" = 20 * MSEC) -> None:
         """``spin_block_ns`` is the PV-spinlock grace budget: CPU time a
         waiter spins before blocking on its event channel (Xen PV guests
         and MPI runtimes both spin-then-yield).  ``None`` = spin forever

@@ -43,7 +43,9 @@ def normalize_map(values: Mapping[str, float], baseline_key: str = "CR") -> dict
     if baseline_key not in values:
         raise KeyError(f"baseline {baseline_key!r} missing from {sorted(values)}")
     base = values[baseline_key]
-    return {k: normalized(v, base) for k, v in values.items()}
+    # Sorted keys: the reduction order (and output ordering) must not
+    # depend on the caller's dict insertion order.
+    return {k: normalized(values[k], base) for k in sorted(values)}
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -247,11 +247,11 @@ class CreditScheduler(Scheduler):
         period = vmm.period_ns
         capacity = period * len(vmm.node.pcpus)
         vcpus = [v for vm in vmm.vms for v in vm.vcpus]
-        active = {id(v) for v in vcpus if v.state.value != 0 or v.period_run_ns > 0}
-        total_w = sum(v.vm.weight for v in vcpus if id(v) in active) or 1.0
+        active = [v.state.value != 0 or v.period_run_ns > 0 for v in vcpus]
+        total_w = sum(v.vm.weight for v, act in zip(vcpus, active) if act) or 1.0
         cap = self.params.credit_cap_periods * capacity
-        for v in vcpus:
-            share = capacity * (v.vm.weight / total_w) if id(v) in active else 0.0
+        for v, act in zip(vcpus, active):
+            share = capacity * (v.vm.weight / total_w) if act else 0.0
             v.credit = min(cap, max(-cap, v.credit + share - v.period_run_ns))
             v.period_run_ns = 0
             if v.queued and v.prio != PRIO_BOOST:

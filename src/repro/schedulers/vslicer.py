@@ -48,7 +48,9 @@ class VSlicerScheduler(CreditScheduler):
 
     def __init__(self, vmm: "VMM", params: VSlicerParams | None = None) -> None:
         super().__init__(vmm, params or VSlicerParams())
-        self.ls_vms: set[int] = set()
+        # Insertion-ordered membership (dict keys): `vmid in ls_vms` works
+        # like a set, but any future iteration is deterministic.
+        self.ls_vms: dict[int, None] = {}
 
     def on_period(self, now: int) -> None:
         p: VSlicerParams = self.params
@@ -61,9 +63,9 @@ class VSlicerScheduler(CreditScheduler):
             for v in vm.vcpus:
                 v.period_wakes = 0
             if wakes >= p.ls_min_wakes and util <= p.ls_max_util:
-                self.ls_vms.add(vm.vmid)
+                self.ls_vms[vm.vmid] = None
                 vm.slice_ns = p.micro_slice_ns
             else:
-                self.ls_vms.discard(vm.vmid)
+                self.ls_vms.pop(vm.vmid, None)
                 vm.slice_ns = None
         super().on_period(now)

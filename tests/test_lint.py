@@ -1,0 +1,271 @@
+"""Static determinism lint: one positive + one suppressed case per rule."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    PARSE_ERROR_CODE,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+REPO_BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in lint_source(source)]
+
+
+# ----------------------------------------------------------------------
+# RPR001: wall-clock / entropy calls
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter()\n",
+        "import time as clock\nt = clock.monotonic_ns()\n",
+        "from time import time\nt = time()\n",
+        "import random\nr = random.random()\n",
+        "import random\nr = random.randint(0, 5)\n",
+        "import os\nb = os.urandom(8)\n",
+        "import uuid\nu = uuid.uuid4()\n",
+        "from datetime import datetime\nd = datetime.now()\n",
+        "import datetime\nd = datetime.datetime.utcnow()\n",
+        "import numpy as np\nr = np.random.rand(3)\n",
+        "import secrets\ns = secrets.token_bytes(4)\n",
+    ],
+)
+def test_entropy_calls_flagged(snippet):
+    assert "RPR001" in codes(snippet)
+
+
+def test_entropy_pragma_suppresses():
+    src = "import time\nt = time.time()  # repro: ignore[RPR001]\n"
+    assert codes(src) == []
+
+
+def test_seeded_rng_not_flagged():
+    src = (
+        "from repro.sim.rng import SimRNG\n"
+        "rng = SimRNG(0)\n"
+        "x = rng.uniform(0.0, 1.0)\n"
+    )
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR002: unseeded RNG construction
+# ----------------------------------------------------------------------
+def test_unseeded_default_rng_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert "RPR002" in codes(src)
+
+
+def test_seeded_default_rng_ok():
+    src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert "RPR002" not in codes(src)
+
+
+def test_unseeded_rng_pragma_suppresses():
+    src = "import numpy as np\nrng = np.random.default_rng()  # repro: ignore[RPR002]\n"
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR010: id()-based keying/ordering
+# ----------------------------------------------------------------------
+def test_id_ordering_flagged():
+    src = "order = sorted(vcpus, key=lambda v: id(v))\n"
+    assert "RPR010" in codes(src)
+
+
+def test_id_set_comprehension_flagged():
+    src = "active = {id(v) for v in vcpus}\n"
+    assert "RPR010" in codes(src)
+
+
+def test_id_pragma_suppresses():
+    src = "k = id(v)  # repro: ignore[RPR010]\n"
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR011 / RPR012: set iteration and set.pop
+# ----------------------------------------------------------------------
+def test_for_over_set_literal_flagged():
+    src = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert "RPR011" in codes(src)
+
+
+def test_comprehension_over_set_binding_flagged():
+    src = "s = {1, 2}\nout = [x for x in s]\n"
+    assert "RPR011" in codes(src)
+
+
+def test_sorted_set_ok():
+    src = "s = {1, 2}\nfor x in sorted(s):\n    print(x)\n"
+    assert "RPR011" not in codes(src)
+
+
+def test_set_iteration_pragma_suppresses():
+    src = "s = {1, 2}\nout = [x for x in s]  # repro: ignore[RPR011]\n"
+    assert codes(src) == []
+
+
+def test_set_pop_flagged():
+    src = "s = {1, 2}\nx = s.pop()\n"
+    assert "RPR012" in codes(src)
+
+
+def test_list_pop_ok():
+    src = "s = [1, 2]\nx = s.pop()\n"
+    assert "RPR012" not in codes(src)
+
+
+def test_set_pop_pragma_suppresses():
+    src = "s = {1, 2}\nx = s.pop()  # repro: ignore[RPR012]\n"
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR020: raw time literals
+# ----------------------------------------------------------------------
+def test_raw_literal_keyword_flagged():
+    src = "run(horizon_ns=5_000_000)\n"
+    assert "RPR020" in codes(src)
+
+
+def test_raw_literal_default_flagged():
+    src = "def f(slice_ns=30_000_000):\n    pass\n"
+    assert "RPR020" in codes(src)
+
+
+def test_raw_literal_assign_flagged():
+    src = "period_ns = 30_000_000\n"
+    assert "RPR020" in codes(src)
+
+
+def test_units_expression_ok():
+    src = "from repro.sim.units import MSEC\nperiod_ns = 30 * MSEC\n"
+    assert "RPR020" not in codes(src)
+
+
+def test_small_literal_ok():
+    src = "delta_ns = 100\n"
+    assert "RPR020" not in codes(src)
+
+
+def test_non_ns_name_ok():
+    src = "count = 5_000_000\n"
+    assert "RPR020" not in codes(src)
+
+
+def test_raw_literal_pragma_suppresses():
+    src = "period_ns = 30_000_000  # repro: ignore[RPR020]\n"
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPR030 / RPR031: exception hygiene
+# ----------------------------------------------------------------------
+def test_bare_except_flagged():
+    src = "try:\n    f()\nexcept:\n    raise\n"
+    assert "RPR030" in codes(src)
+
+
+def test_swallowed_exception_flagged():
+    src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+    assert "RPR031" in codes(src)
+
+
+def test_handled_exception_ok():
+    src = "try:\n    f()\nexcept ValueError as e:\n    log(e)\n"
+    assert codes(src) == []
+
+
+def test_bare_except_pragma_suppresses():
+    src = "try:\n    f()\nexcept:  # repro: ignore[RPR030]\n    raise\n"
+    assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# Pragma semantics
+# ----------------------------------------------------------------------
+def test_bracketless_pragma_suppresses_everything():
+    src = "import time\nt = time.time()  # repro: ignore\n"
+    assert codes(src) == []
+
+
+def test_pragma_with_wrong_code_does_not_suppress():
+    src = "import time\nt = time.time()  # repro: ignore[RPR020]\n"
+    assert "RPR001" in codes(src)
+
+
+# ----------------------------------------------------------------------
+# Framework: parse errors, path walking, reporters, CLI driver
+# ----------------------------------------------------------------------
+def test_parse_error_reported():
+    found = lint_source("def f(:\n")
+    assert [f.code for f in found] == [PARSE_ERROR_CODE]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("import time\nt = time.time()\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "b.py").write_text("import time\nt = time.time()\n")
+    found = lint_paths([tmp_path])
+    assert len(found) == 1
+    assert found[0].path.endswith("a.py")
+
+
+def test_reporters():
+    found = lint_source("k = id(v)\n", path="x.py")
+    text = render_text(found)
+    assert "x.py:1:5: RPR010" in text and "1 finding" in text
+    data = json.loads(render_json(found))
+    assert data["count"] == 1
+    assert data["findings"][0]["code"] == "RPR010"
+
+
+def test_run_lint_exit_codes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    out = io.StringIO()
+    assert run_lint([str(bad)], out=out) == 1
+    assert run_lint([str(clean)], out=out) == 0
+    assert run_lint([str(tmp_path / "missing.py")], out=out) == 2
+    assert run_lint([str(bad)], select=["NOPE99"], out=out) == 2
+    # --select narrows the rule set: RPR020-only sees no entropy call.
+    assert run_lint([str(bad)], select=["RPR020"], out=out) == 0
+
+
+def test_repo_tree_is_lint_clean():
+    """src/repro and benchmarks must stay free of determinism hazards."""
+    found = lint_paths([REPO_SRC, REPO_BENCH])
+    assert found == [], "\n" + "\n".join(f.format() for f in found)
+
+
+def test_cli_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    assert json.loads(capsys.readouterr().out)["count"] == 1
+    assert main(["lint", "--list-rules"]) == 0
+    assert "RPR010" in capsys.readouterr().out
