@@ -9,7 +9,9 @@ Examples::
     python -m repro mix --scheduler ATC --np-slice 6
     python -m repro typeb --scheduler ATC --nodes 6
     python -m repro probe --scheduler CR
-    python -m repro lint src/repro benchmarks
+    python -m repro trace --app is --slice 30
+    python -m repro perf
+    python -m repro lint src/repro benchmarks tests
 
 Sweep-shaped commands (``sweep``, ``compare``, ``typea``, ``typeb``,
 ``mix``) execute through :mod:`repro.experiments.runner`: ``--jobs N``
@@ -19,6 +21,16 @@ bypass), ``--json PATH`` exports the full result set, and ``--sanitize``
 runs every cell under the runtime invariant sanitizer
 (:mod:`repro.analysis.sanitizer` — read-only hooks, bit-identical
 results, violations reported as structured cell failures).
+
+``trace`` runs one traced type-A cell (:mod:`repro.obs.trace`) and writes
+a JSON-lines trace plus a Chrome ``trace_event`` file (open in Perfetto
+or ``chrome://tracing``).  Tracing is read-only: a traced run is
+bit-identical to an untraced one.
+
+``perf`` runs the simulator self-profiling micro-suite
+(:mod:`repro.obs.perfsuite`): events/sec, per-category callback
+attribution and cancelled-event waste, written as ``BENCH_perf_*.json``
+and optionally gated against ``benchmarks/perf/baseline.json``.
 
 ``lint`` runs the static determinism checker
 (:mod:`repro.analysis.lint`) over the given paths.
@@ -112,9 +124,38 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--sanitize", action="store_true",
                     help="run under the runtime invariant sanitizer")
 
+    sp = sub.add_parser("trace", help="traced run: JSON-lines + Chrome trace_event export")
+    sp.add_argument("--app", default="is", choices=NPB_EXTENDED)
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--nodes", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--rounds", type=int, default=1)
+    sp.add_argument("--slice", type=float, default=None,
+                    help="uniform guest slice (ms; adaptive schedulers overwrite it)")
+    sp.add_argument("--horizon", type=float, default=20.0, help="virtual seconds")
+    sp.add_argument("--capacity", type=int, default=65536,
+                    help="trace ring-buffer capacity (records; oldest evicted)")
+    sp.add_argument("--out", default="trace_out/trace", metavar="PREFIX",
+                    help="output prefix: writes PREFIX.jsonl and PREFIX.trace.json")
+
+    sp = sub.add_parser("perf", help="simulator self-profiling micro-suite (BENCH_perf_*.json)")
+    sp.add_argument("--cases", default=None, metavar="NAMES",
+                    help="comma-separated case names (default: all)")
+    sp.add_argument("--quick", action="store_true",
+                    help="scaled-down workloads (CI smoke / tests)")
+    sp.add_argument("--out", default="benchmarks/perf/results", metavar="DIR",
+                    help="directory for BENCH_perf_*.json")
+    sp.add_argument("--check", default=None, metavar="BASELINE",
+                    help="fail if events/sec regresses vs this baseline.json")
+    sp.add_argument("--tolerance", type=float, default=None,
+                    help="allowed fractional regression for --check "
+                    "(default 0.30, or REPRO_PERF_TOLERANCE)")
+    sp.add_argument("--write-baseline", default=None, metavar="PATH",
+                    help="record measured events/sec as the new baseline")
+
     sp = sub.add_parser("lint", help="static determinism lint (RPR rules)")
-    sp.add_argument("paths", nargs="*", default=["src/repro", "benchmarks"],
-                    help="files/directories to lint (default: src/repro benchmarks)")
+    sp.add_argument("paths", nargs="*", default=["src/repro", "benchmarks", "tests"],
+                    help="files/directories to lint (default: src/repro benchmarks tests)")
     sp.add_argument("--format", choices=["text", "json"], default="text")
     sp.add_argument("--select", default=None, metavar="CODES",
                     help="comma-separated rule codes to run (default: all)")
@@ -170,7 +211,9 @@ def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
     print("experiments: typea, compare, sweep, mix, typeb, probe")
-    print("tools      : lint (static determinism checks; --list-rules for codes)")
+    print("tools      : trace (structured tracing + Perfetto export), "
+          "perf (self-profiling micro-suite), "
+          "lint (static determinism checks; --list-rules for codes)")
 
 
 def _cmd_typea(args) -> int:
@@ -320,6 +363,89 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.scenarios import run_type_a
+    from repro.obs import trace as obstrace
+
+    r = run_type_a(
+        args.app, args.scheduler, args.nodes,
+        rounds=args.rounds, warmup_rounds=0, seed=args.seed,
+        horizon_s=args.horizon, uniform_slice_ms=args.slice,
+        trace=True, trace_capacity=args.capacity,
+    )
+    tr = r["trace"]
+    records = obstrace.records_from_dicts(tr["records"])
+    jsonl_path = obstrace.write_jsonl(records, args.out + ".jsonl")
+    chrome_path = obstrace.write_chrome_trace(records, args.out + ".trace.json")
+    rows = [(kind, count) for kind, count in tr["by_kind"].items()]
+    rows.append(("total", tr["total"]))
+    rows.append(("retained", tr["retained"]))
+    rows.append(("dropped (ring full)", tr["dropped"]))
+    print(
+        format_table(
+            ["record kind", "count"],
+            rows,
+            title=f"Trace — {args.app} under {args.scheduler} "
+            f"({r['sim_time_ns'] / 1e9:.2f} virtual s)",
+        )
+    )
+    print(f"JSON-lines : {jsonl_path}")
+    print(f"trace_event: {chrome_path}  (open in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.obs import perfsuite
+
+    names = None if args.cases is None else args.cases.split(",")
+    try:
+        results = perfsuite.run_suite(names, quick=args.quick)
+    except KeyError as exc:
+        print(f"repro perf: {exc.args[0]}", file=sys.stderr)
+        return 2
+    rows = [
+        (r["name"], r["events"], f"{r['events_per_sec']:,.0f}", r["wall_s"],
+         r["max_heap_depth"], f"{r['cancel_waste_ratio']:.3f}")
+        for r in results
+    ]
+    print(
+        format_table(
+            ["case", "events", "events/sec", "wall (s)", "max heap", "cancel waste"],
+            rows,
+            title="Simulator self-profile" + (" (quick)" if args.quick else ""),
+        )
+    )
+    for r in results:
+        cat_rows = [
+            (cat, c["calls"], c["wall_s"] * 1e3)
+            for cat, c in sorted(
+                r["categories"].items(), key=lambda kv: -kv[1]["wall_s"]
+            )
+        ]
+        print()
+        print(
+            format_table(
+                ["category", "calls", "wall (ms)"],
+                cat_rows,
+                title=f"{r['name']} — per-category callback attribution",
+            )
+        )
+    paths = perfsuite.write_results(results, args.out)
+    print()
+    for p in paths:
+        print(f"wrote {p}")
+    if args.write_baseline:
+        print(f"wrote {perfsuite.write_baseline(results, args.write_baseline)}")
+    if args.check:
+        failures = perfsuite.check_baseline(results, args.check, tolerance=args.tolerance)
+        if failures:
+            for f in failures:
+                print(f"PERF REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print(f"perf check vs {args.check}: ok")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import run_lint
 
@@ -341,6 +467,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mix": _cmd_mix,
         "typeb": _cmd_typeb,
         "probe": _cmd_probe,
+        "trace": _cmd_trace,
+        "perf": _cmd_perf,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -80,7 +80,7 @@ class Fabric:
         start = max(now, self._nic_free_at.get(src_node, 0))
         self._nic_free_at[src_node] = start + tx
         arrival = start + tx + p.latency_ns
-        self.sim.at(arrival, deliver_fn)
+        self.sim.at(arrival, deliver_fn, cat="net")
         self.messages_sent += 1
         self.bytes_sent += nbytes
         return arrival

@@ -75,7 +75,7 @@ class Disk:
         self._free_at = finish
         self.requests += 1
         self.bytes_moved += nbytes
-        self.sim.at(finish, done_fn)
+        self.sim.at(finish, done_fn, cat="disk")
         return finish
 
 

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.config import ATCConfig
 from repro.core.monitor import SpinLatencyMonitor
+from repro.obs import trace as obstrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.vmm import VMM
@@ -50,8 +51,10 @@ class ATCController:
     def on_period(self, now: int) -> None:
         vmm = self.vmm
         cfg = self.cfg
+        trace_on = obstrace.enabled
         parallel = []
         candidates = []
+        spin_inputs = []  # Algorithm-1 input per parallel VM (trace only)
         for vm in vmm.vms:
             if vm.is_dom0:
                 continue
@@ -61,6 +64,8 @@ class ATCController:
                 )
                 candidates.append(st.next_slice())
                 parallel.append(vm)
+                if trace_on:
+                    spin_inputs.append(st.latencies[-1] if st.latencies else 0.0)
             else:
                 # Algorithm 2 lines 17-20: admin-specified or VMM default.
                 vm.slice_ns = vm.admin_slice_ns  # None means default
@@ -70,6 +75,17 @@ class ATCController:
                 vm.slice_ns = min_slice
             if self.record_series:
                 self.slice_history.append((now, min_slice))
+            if trace_on:
+                obstrace.emit(
+                    "slice.change",
+                    now,
+                    node=vmm.node.index,
+                    policy="ATC",
+                    vms=[vm.name for vm in parallel],
+                    spin_avg_ns=spin_inputs,
+                    candidates_ns=candidates,
+                    applied_ns=min_slice,
+                )
         else:
             # Algorithm 2 lines 9-11: no parallel VMs — defaults everywhere.
             for vm in vmm.vms:

@@ -21,6 +21,8 @@ from typing import Optional, Sequence
 
 from repro.analysis.sanitizer import SimSanitizer
 from repro.cluster.network import NetworkParams
+from repro.obs.profiler import SimProfiler
+from repro.obs.trace import TraceLog
 from repro.cluster.node import NodeParams
 from repro.cluster.topology import Cluster, build_cluster
 from repro.guest.kernel import GuestKernel
@@ -76,6 +78,15 @@ class WorldConfig:
     #: Install the runtime invariant sanitizer (repro.analysis.sanitizer).
     #: Read-only hooks: a sanitized run is bit-identical to a plain one.
     sanitize: bool = False
+    #: Collect a structured trace (repro.obs.trace) of every run.  Like the
+    #: sanitizer, tracing is read-only: a traced run is bit-identical to an
+    #: untraced one.
+    trace: bool = False
+    #: Ring-buffer capacity of the trace log (records; oldest evicted).
+    trace_capacity: int = 65536
+    #: Attach the wall-clock self-profiler (repro.obs.profiler) to the
+    #: simulator.  Also read-only with respect to simulation state.
+    profile: bool = False
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -100,6 +111,12 @@ class CloudWorld:
             self.vmms.append(vmm)
         self.sanitizer: Optional[SimSanitizer] = (
             SimSanitizer(self.sim, self.vmms) if cfg.sanitize else None
+        )
+        self.tracelog: Optional[TraceLog] = (
+            TraceLog(capacity=cfg.trace_capacity) if cfg.trace else None
+        )
+        self.profiler: Optional[SimProfiler] = (
+            SimProfiler(self.sim) if cfg.profile else None
         )
         self._node_vm_load = [0] * cfg.n_nodes
         self._rng_key = 0
@@ -300,9 +317,21 @@ class CloudWorld:
         simulation invariant was violated during the run.
         """
         self.start()
-        self.sim.run(until=self.sim.now + horizon_ns)
+        if self.tracelog is not None:
+            with self.tracelog.activate():
+                self.sim.run(until=self.sim.now + horizon_ns)
+        else:
+            self.sim.run(until=self.sim.now + horizon_ns)
         if self.sanitizer is not None:
             self.sanitizer.check()
+
+    @property
+    def metrics(self):
+        """Live :class:`~repro.obs.registry.MetricsRegistry` for the whole
+        world (cluster / per-node / per-VM, callback gauges)."""
+        from repro.metrics.collectors import world_registry
+
+        return world_registry(self)
 
     @property
     def all_apps_done(self) -> bool:

@@ -110,12 +110,23 @@ class RunSpec:
     read-only, so results are bit-identical either way; the flag is
     folded into the cache key only when set, keeping existing cached
     digests valid.
+
+    ``trace`` and ``profile`` attach the observability layers
+    (:mod:`repro.obs`): tracing adds a ``"trace"`` key (ring-buffer
+    summary + records) and profiling a ``"profile"`` key (wall-clock
+    self-profile) to the cell's value.  Like ``sanitize``, both are
+    read-only observation and fold into the cache key only when set —
+    but a profiled value embeds host wall-clock numbers, so profiled
+    cells are cached separately and their ``"profile"`` content is
+    machine-dependent.
     """
 
     scenario: str
     params: Mapping = field(default_factory=dict)
     label: str = ""
     sanitize: bool = False
+    trace: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -135,6 +146,10 @@ class RunSpec:
             # Only present when set, so pre-existing cache digests of
             # unsanitized cells stay valid.
             payload["sanitize"] = True
+        if self.trace:
+            payload["trace"] = True
+        if self.profile:
+            payload["profile"] = True
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self, salt: Optional[str] = None) -> str:
@@ -147,6 +162,10 @@ class RunSpec:
         d = {"scenario": self.scenario, "params": dict(self.params), "label": self.label}
         if self.sanitize:
             d["sanitize"] = True
+        if self.trace:
+            d["trace"] = True
+        if self.profile:
+            d["profile"] = True
         return d
 
 
@@ -191,6 +210,10 @@ def _execute_cell(spec: RunSpec, retries: int = 1) -> dict:
     kwargs = dict(spec.params)
     if spec.sanitize:
         kwargs["sanitize"] = True
+    if spec.trace:
+        kwargs["trace"] = True
+    if spec.profile:
+        kwargs["profile"] = True
     attempts = 0
     last_exc: Optional[BaseException] = None
     # Host wall-clock (never feeds simulation state, so exempt from the

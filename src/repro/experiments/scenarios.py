@@ -66,6 +66,9 @@ def _world(
     vcpus_per_vm: int = 8,
     vms_per_node: int = 4,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> CloudWorld:
     return CloudWorld(
         WorldConfig(
@@ -77,8 +80,25 @@ def _world(
             uniform_slice_ns=uniform_slice_ns,
             seed=seed,
             sanitize=sanitize,
+            trace=trace,
+            trace_capacity=trace_capacity,
+            profile=profile,
         )
     )
+
+
+def _attach_obs(result: dict, world: CloudWorld) -> dict:
+    """Fold observability outputs into a scenario result.
+
+    Only adds keys when the corresponding layer was enabled, so results of
+    plain runs are byte-identical with and without this call (the traced-run
+    bit-identity regression tests compare everything *except* these keys).
+    """
+    if world.tracelog is not None:
+        result["trace"] = world.tracelog.summary(include_records=True)
+    if world.profiler is not None:
+        result["profile"] = world.profiler.report()
+    return result
 
 
 def run_type_a(
@@ -94,12 +114,23 @@ def run_type_a(
     horizon_s: float = 300.0,
     sched_params: Optional[SchedulerParams] = None,
     sanitize: bool = False,
+    uniform_slice_ms: Optional[float] = None,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> dict:
     """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
-    one VM per node each, all running ``app_name``."""
+    one VM per node each, all running ``app_name``.
+
+    ``uniform_slice_ms`` forces a static guest slice (CR sweeps and the
+    ``repro trace`` CLI); ``trace``/``profile`` attach the observability
+    layers and fold their outputs into the result.
+    """
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params,
         vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
+        uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
+        trace=trace, trace_capacity=trace_capacity, profile=profile,
     )
     apps = []
     for k in range(n_vclusters):
@@ -110,18 +141,21 @@ def run_type_a(
     world.run(horizon_ns=round(horizon_s * SEC))
     times = [t for a in apps for t in a.round_times]
     spin = [vm.kernel.avg_spin_ns for vm in world.vms]
-    return {
-        "scheduler": scheduler,
-        "app": app_name,
-        "n_nodes": n_nodes,
-        "mean_round_ns": mean(times),
-        "rounds_measured": len(times),
-        "all_done": world.all_apps_done,
-        "avg_spin_ns": mean(spin),
-        "cluster": cluster_stats(world.cluster),
-        "sim_time_ns": world.sim.now,
-        "events": world.sim.events_processed,
-    }
+    return _attach_obs(
+        {
+            "scheduler": scheduler,
+            "app": app_name,
+            "n_nodes": n_nodes,
+            "mean_round_ns": mean(times),
+            "rounds_measured": len(times),
+            "all_done": world.all_apps_done,
+            "avg_spin_ns": mean(spin),
+            "cluster": cluster_stats(world.cluster),
+            "sim_time_ns": world.sim.now,
+            "events": world.sim.events_processed,
+        },
+        world,
+    )
 
 
 def run_slice_sweep(
@@ -186,6 +220,9 @@ def run_small_mix(
     atc_np_slice_ms: Optional[float] = None,
     sched_params: Optional[SchedulerParams] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> dict:
     """Section II-A2 platform (Figs. 2 and 9): two nodes, four VMs each;
     three two-VM virtual clusters run ``parallel_app`` in the background,
@@ -202,6 +239,9 @@ def run_small_mix(
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         sched_params=sched_params,
         sanitize=sanitize,
+        trace=trace,
+        trace_capacity=trace_capacity,
+        profile=profile,
     )
     bg_apps = []
     for k in range(3):
@@ -220,18 +260,21 @@ def run_small_mix(
     bonnie = world.add_bonnie(np2)
     ping = world.add_ping(np1, np2)
     world.run(horizon_ns=round(horizon_s * SEC))
-    return {
-        "scheduler": scheduler,
-        "uniform_slice_ms": uniform_slice_ms,
-        "sphinx3_mean_run_ns": sphinx.mean_run_ns,
-        "stream_bandwidth_Bps": stream.bandwidth_Bps,
-        "bonnie_throughput_Bps": bonnie.throughput_Bps,
-        "ping_mean_rtt_ns": ping.mean_rtt_ns,
-        "ping_samples": len(ping.rtts),
-        "parallel_mean_round_ns": mean([t for a in bg_apps for t in a.round_times]),
-        "sim_time_ns": world.sim.now,
-        "events": world.sim.events_processed,
-    }
+    return _attach_obs(
+        {
+            "scheduler": scheduler,
+            "uniform_slice_ms": uniform_slice_ms,
+            "sphinx3_mean_run_ns": sphinx.mean_run_ns,
+            "stream_bandwidth_Bps": stream.bandwidth_Bps,
+            "bonnie_throughput_Bps": bonnie.throughput_Bps,
+            "ping_mean_rtt_ns": ping.mean_rtt_ns,
+            "ping_samples": len(ping.rtts),
+            "parallel_mean_round_ns": mean([t for a in bg_apps for t in a.round_times]),
+            "sim_time_ns": world.sim.now,
+            "events": world.sim.events_processed,
+        },
+        world,
+    )
 
 
 def _scaled_vc_mix(world: CloudWorld, rng: SimRNG, reserve_vms: int = 0):
@@ -251,11 +294,17 @@ def run_type_b(
     horizon_s: float = 6.0,
     sched_params: Optional[SchedulerParams] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> dict:
     """Evaluation type B (Fig. 11): LLNL-trace virtual-cluster mix, every
     cluster running a random NPB kernel repeatedly;
     independent VMs run lu.B or is.B.  Per-VC mean round times returned."""
-    world = _world(n_nodes, scheduler, seed, sched_params=sched_params, sanitize=sanitize)
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
+        trace=trace, trace_capacity=trace_capacity, profile=profile,
+    )
     rng = world.rng.substream(999)
     mix = _scaled_vc_mix(world, rng)
     vc_apps = []
@@ -269,7 +318,7 @@ def run_type_b(
         app_name = rng.choice(["lu", "is"])
         indep_apps.append(world.add_npb(app_name, [vm], rounds=None, warmup_rounds=1))
     world.run(horizon_ns=round(horizon_s * SEC))
-    return {
+    return _attach_obs({
         "scheduler": scheduler,
         "n_nodes": n_nodes,
         "vcs": [
@@ -288,7 +337,7 @@ def run_type_b(
         ],
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
-    }
+    }, world)
 
 
 def run_type_b_mixed(
@@ -299,11 +348,17 @@ def run_type_b_mixed(
     atc_np_slice_ms: Optional[float] = None,
     sched_params: Optional[SchedulerParams] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> dict:
     """Section IV-C (Figs. 12-14): type B clusters plus independent VMs
     running lu/is and the non-parallel suite.  One extra node hosts the
     httperf client (the paper drives web load from separate machines)."""
-    world = _world(n_nodes + 1, scheduler, seed, sched_params=sched_params, sanitize=sanitize)
+    world = _world(
+        n_nodes + 1, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
+        trace=trace, trace_capacity=trace_capacity, profile=profile,
+    )
     # keep the client node (last index) out of general placement
     world._node_vm_load[n_nodes] = world.config.vms_per_node - 1
     rng = world.rng.substream(999)
@@ -346,7 +401,7 @@ def run_type_b_mixed(
         j += 1
 
     world.run(horizon_ns=round(horizon_s * SEC))
-    return {
+    return _attach_obs({
         "scheduler": scheduler,
         "atc_np_slice_ms": atc_np_slice_ms,
         "vcs": [
@@ -371,7 +426,7 @@ def run_type_b_mixed(
         ),
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
-    }
+    }, world)
 
 
 def run_packet_path_probe(
@@ -383,6 +438,9 @@ def run_packet_path_probe(
     background_app: str = "lu",
     sched_params: Optional[SchedulerParams] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
 ) -> dict:
     """Fig. 4: measure the four scheduling-wait overhead sources on the
     cross-VM packet path while parallel load keeps the hosts busy.
@@ -397,6 +455,9 @@ def run_packet_path_probe(
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         sched_params=sched_params,
         sanitize=sanitize,
+        trace=trace,
+        trace_capacity=trace_capacity,
+        profile=profile,
     )
     for k in range(3):
         vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")
@@ -426,7 +487,7 @@ def run_packet_path_probe(
     world.run(horizon_ns=round(horizon_s * SEC))
 
     stamped = [p for p in log if p.t_consumed >= 0]
-    return {
+    return _attach_obs({
         "scheduler": scheduler,
         "probes": len(stamped),
         "mean_netback_tx_wait_ns": mean([p.t_netback_tx - p.t_send for p in stamped]),
@@ -436,7 +497,7 @@ def run_packet_path_probe(
         "mean_end_to_end_ns": mean([p.t_consumed - p.t_send for p in stamped]),
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
-    }
+    }, world)
 
 
 class _ProcPair:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.guest.process import GuestProcess
+from repro.obs import trace as obstrace
 from repro.sim.units import MSEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +86,15 @@ class GuestKernel:
     # Spinlock-latency monitor
     # ------------------------------------------------------------------
     def record_spin_wait(self, wait_ns: int, kind: str) -> None:
+        if obstrace.enabled:
+            obstrace.emit(
+                "spin.episode",
+                self.sim.now,
+                node=self.vm.node.index,
+                vm=self.vm.name,
+                spin_kind=kind,
+                wait_ns=wait_ns,
+            )
         self.period_spin_ns += wait_ns
         self.period_spin_count += 1
         self.total_spin_ns += wait_ns

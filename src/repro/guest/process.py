@@ -214,7 +214,7 @@ class GuestProcess:
         if st in ("compute", "crit", "bar_crit"):
             self._remaining += overhead_ns
             self._work_started = now
-            self._work_ev = self.sim.after(self._remaining, self._work_done)
+            self._work_ev = self.sim.after(self._remaining, self._work_done, cat="guest")
         elif st in ("lock_spin", "bar_lock_spin", "bar_wait", "recv_spin"):
             if self._spin_resolved():
                 self._schedule_poll()
@@ -284,7 +284,7 @@ class GuestProcess:
 
     def _schedule_poll(self) -> None:
         if self._poll_ev is None:
-            self._poll_ev = self.sim.after(0, self._poll)
+            self._poll_ev = self.sim.after(0, self._poll, cat="guest")
 
     # ------------------------------------------------------------------
     # Spin-then-block mechanics
@@ -304,9 +304,9 @@ class GuestProcess:
         remaining = budget - self._spin_cpu_used
         self._grace_started = now
         if remaining <= 0:
-            self._grace_ev = self.sim.after(0, self._spin_block_timeout)
+            self._grace_ev = self.sim.after(0, self._spin_block_timeout, cat="guest")
         else:
-            self._grace_ev = self.sim.after(remaining, self._spin_block_timeout)
+            self._grace_ev = self.sim.after(remaining, self._spin_block_timeout, cat="guest")
 
     def _spin_block_timeout(self) -> None:
         self._grace_ev = None
@@ -432,7 +432,7 @@ class GuestProcess:
                 self.state = "sleep"
                 ns = seg[1]
                 self.vcpu.block()
-                self.sim.after(ns, self._sleep_done)
+                self.sim.after(ns, self._sleep_done, cat="guest")
                 return
             if k == "disk":
                 self.state = "disk"
@@ -446,7 +446,7 @@ class GuestProcess:
     def _begin_work(self, ns: int) -> None:
         self._remaining = ns
         self._work_started = self.sim.now
-        self._work_ev = self.sim.after(ns, self._work_done)
+        self._work_ev = self.sim.after(ns, self._work_done, cat="guest")
 
     def _begin_crit(self, state: str) -> None:
         self.state = state

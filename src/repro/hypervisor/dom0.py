@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hypervisor.vm import VCPUState, VM
+from repro.obs import trace as obstrace
 from repro.sim.units import USEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -126,13 +127,13 @@ class _Dom0Worker:
         if self.cur_fn is not None:
             self.cur_cost += overhead_ns
             self._started = now
-            self._ev = self.sim.after(self.cur_cost, self._finish)
+            self._ev = self.sim.after(self.cur_cost, self._finish, cat="dom0")
         elif self.dom0.queue:
             self._start_next(overhead_ns)
         else:
             # Dispatched with nothing to do (can happen when work was
             # consumed by a sibling worker); block in a follow-up event.
-            self._block_ev = self.sim.after(0, self._idle_block)
+            self._block_ev = self.sim.after(0, self._idle_block, cat="dom0")
 
     def on_preempt(self, now: int) -> None:
         self._epoch += 1
@@ -155,7 +156,7 @@ class _Dom0Worker:
         self.cur_cost = cost + overhead_ns
         self.cur_fn = fn
         self._started = self.sim.now
-        self._ev = self.sim.after(self.cur_cost, self._finish)
+        self._ev = self.sim.after(self.cur_cost, self._finish, cat="dom0")
 
     def _finish(self) -> None:
         self._ev = None
@@ -217,15 +218,31 @@ class Dom0:
     # ------------------------------------------------------------------
     # Network path (Fig. 4)
     # ------------------------------------------------------------------
+    def _emit_hop(self, hop: str, pkt: Packet) -> None:
+        obstrace.emit(
+            "pkt.hop",
+            self.sim.now,
+            node=self.vmm.node.index,
+            hop=hop,
+            src=f"{pkt.src_vm.name}.{pkt.src_proc}",
+            dst=f"{pkt.dst_vm.name}.{pkt.dst_proc}",
+            nbytes=pkt.nbytes,
+            tag=pkt.tag,
+        )
+
     def send_packet(self, pkt: Packet) -> None:
         """Steps 1-2: guest placed ``pkt`` in the I/O ring and notified us."""
         pkt.t_send = self.sim.now
         self.packets_tx += 1
+        if obstrace.enabled:
+            self._emit_hop("send", pkt)
         self._enqueue(self.params.netback_tx_ns, lambda: self._tx_done(pkt))
 
     def _tx_done(self, pkt: Packet) -> None:
         """Steps 4-5: netback copied the packet and the NIC sends it."""
         pkt.t_netback_tx = self.sim.now
+        if obstrace.enabled:
+            self._emit_hop("netback_tx", pkt)
         dst_node = pkt.dst_vm.node
         if dst_node is self.vmm.node:
             # Same-host inter-VM traffic loops through the dom0 bridge.
@@ -244,11 +261,15 @@ class Dom0:
         must run to copy it into the destination guest's I/O ring."""
         pkt.t_arrive = self.sim.now
         self.packets_rx += 1
+        if obstrace.enabled:
+            self._emit_hop("arrive", pkt)
         self._enqueue(self.params.netback_rx_ns, lambda: self._rx_done(pkt))
 
     def _rx_done(self, pkt: Packet) -> None:
         """Steps 8-9: copy into the guest ring and signal its event channel."""
         pkt.t_delivered = self.sim.now
+        if obstrace.enabled:
+            self._emit_hop("delivered", pkt)
         pkt.dst_vm.deliver(pkt)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.hypervisor.vm import VCPU, VCPUState, VM
+from repro.obs import trace as obstrace
 from repro.sim.units import MSEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -77,14 +78,14 @@ class VMM:
         """Begin periodic scheduler accounting.  Idempotent."""
         if not self._period_started:
             self._period_started = True
-            self.sim.after(self.period_ns, self._period_tick)
+            self.sim.after(self.period_ns, self._period_tick, cat="vmm.period")
 
     def _period_tick(self) -> None:
         now = self.sim.now
         self.scheduler.on_period(now)
         for hook in self.period_hooks:
             hook(now)
-        self.sim.after(self.period_ns, self._period_tick)
+        self.sim.after(self.period_ns, self._period_tick, cat="vmm.period")
 
     # ------------------------------------------------------------------
     # Dispatch transactions
@@ -102,8 +103,20 @@ class VMM:
             raise RuntimeError(f"picked {vcpu.name} in state {vcpu.state.name}")
         now = self.sim.now
         # Non-intrusive monitoring signal: how long the VCPU sat runnable.
-        vcpu.vm.period_queue_wait_ns += now - vcpu.wake_ns
+        wait_ns = now - vcpu.wake_ns
+        vcpu.vm.period_queue_wait_ns += wait_ns
         vcpu.vm.period_queue_waits += 1
+        if obstrace.enabled:
+            obstrace.emit(
+                "sched.dispatch",
+                now,
+                node=self.node.index,
+                pcpu=pcpu.index,
+                vcpu=vcpu.name,
+                vm=vcpu.vm.name,
+                slice_ns=slice_ns,
+                wait_ns=wait_ns,
+            )
         vcpu.state = VCPUState.RUNNING
         vcpu.pcpu = pcpu
         vcpu.rq = pcpu.index
@@ -123,7 +136,9 @@ class VMM:
             vcpu.vm.llc_misses += misses
             vcpu.vm.llc_penalty_ns += penalty
 
-        pcpu.slice_end_ev = self.sim.after(slice_ns, lambda p=pcpu: self._on_slice_end(p))
+        pcpu.slice_end_ev = self.sim.after(
+            slice_ns, lambda p=pcpu: self._on_slice_end(p), cat="vmm.slice"
+        )
         if runner is not None:
             runner.on_dispatch(now, overhead)
 
@@ -139,6 +154,17 @@ class VMM:
         vcpu.period_run_ns += ran
         pcpu.busy_ns += ran
         pcpu.cache.on_undispatch(now, vcpu)
+        if obstrace.enabled:
+            obstrace.emit(
+                "vcpu.state",
+                now,
+                node=self.node.index,
+                pcpu=pcpu.index,
+                vcpu=vcpu.name,
+                vm=vcpu.vm.name,
+                to_state=next_state.name,
+                ran_ns=ran,
+            )
         vcpu.state = next_state
         if next_state is VCPUState.RUNNABLE:
             vcpu.wake_ns = now  # run-queue wait starts now

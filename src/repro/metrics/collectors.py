@@ -2,61 +2,125 @@
 
 Most counters live on the objects that own them (guest kernels hold spin
 latency, PCPUs hold context switches and LLC misses, apps hold round
-times).  These helpers roll them up per VM / node / world for reporting —
-the analog of reading Xenoprof and the paper's in-kernel monitor after a
-run.
+times).  These helpers expose them through
+:class:`~repro.obs.registry.MetricsRegistry` callback gauges — each stat
+name is bound to a zero-argument reader evaluated at snapshot time — and
+roll them up per VM / node / world for reporting: the analog of reading
+Xenoprof and the paper's in-kernel monitor after a run.
+
+``vm_stats`` / ``node_stats`` / ``cluster_stats`` keep their historical
+plain-dict shapes (they are simply registry snapshots), so everything
+downstream — ``experiments/reporting.py``, the benches, cached sweep
+results — is unchanged.  Callers who want live, queryable metrics use the
+``*_registry`` builders directly (``CloudWorld.metrics`` merges them all
+under ``vm.<name>.`` / ``node.<i>.`` / ``cluster.`` prefixes).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.registry import MetricsRegistry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.topology import Cluster
     from repro.hypervisor.vm import VM
 
-__all__ = ["vm_stats", "node_stats", "cluster_stats"]
+__all__ = [
+    "vm_registry",
+    "node_registry",
+    "cluster_registry",
+    "world_registry",
+    "vm_stats",
+    "node_stats",
+    "cluster_stats",
+]
 
 
-def vm_stats(vm: "VM") -> dict:
-    """Per-VM counters: spin latency, LLC misses, CPU time, I/O events."""
+def vm_registry(vm: "VM") -> MetricsRegistry:
+    """Per-VM metrics: spin latency, LLC misses, CPU time, I/O events."""
+    reg = MetricsRegistry()
     k = vm.kernel
-    return {
-        "vm": vm.name,
-        "is_parallel": vm.is_parallel,
-        "cpu_ns": sum(v.total_run_ns for v in vm.vcpus),
-        "llc_misses": vm.llc_misses,
-        "llc_penalty_ns": vm.llc_penalty_ns,
-        "io_events": vm.total_io_events,
-        "spin_total_ns": k.total_spin_ns if k else 0,
-        "spin_waits": k.total_spin_count if k else 0,
-        "avg_spin_ns": k.avg_spin_ns if k else 0.0,
-        "spin_by_kind": dict(k.spin_by_kind) if k else {},
-    }
+    reg.register("vm", lambda: vm.name)
+    reg.register("is_parallel", lambda: vm.is_parallel)
+    reg.register("cpu_ns", lambda: sum(v.total_run_ns for v in vm.vcpus))
+    reg.register("llc_misses", lambda: vm.llc_misses)
+    reg.register("llc_penalty_ns", lambda: vm.llc_penalty_ns)
+    reg.register("io_events", lambda: vm.total_io_events)
+    reg.register("spin_total_ns", lambda: k.total_spin_ns if k else 0)
+    reg.register("spin_waits", lambda: k.total_spin_count if k else 0)
+    reg.register("avg_spin_ns", lambda: k.avg_spin_ns if k else 0.0)
+    reg.register("spin_by_kind", lambda: dict(k.spin_by_kind) if k else {})
+    return reg
+
+
+def node_registry(node) -> MetricsRegistry:
+    """Per-node metrics: context switches, busy time, cache totals."""
+    reg = MetricsRegistry()
+    reg.register("node", lambda: node.index)
+    reg.register(
+        "context_switches", lambda: sum(p.context_switches for p in node.pcpus)
+    )
+    reg.register("busy_ns", lambda: sum(p.busy_ns for p in node.pcpus))
+    reg.register(
+        "llc_misses", lambda: sum(p.cache.total_miss_count for p in node.pcpus)
+    )
+    reg.register(
+        "llc_penalty_ns", lambda: sum(p.cache.total_penalty_ns for p in node.pcpus)
+    )
+    reg.register("disk_requests", lambda: node.disk.requests)
+    reg.register("disk_bytes", lambda: node.disk.bytes_moved)
+    return reg
+
+
+def cluster_registry(cluster: "Cluster") -> MetricsRegistry:
+    """Whole-cluster rollup, including fabric traffic."""
+    reg = MetricsRegistry()
+    reg.register("n_nodes", lambda: len(cluster.nodes))
+    reg.register(
+        "context_switches",
+        lambda: sum(p.context_switches for n in cluster.nodes for p in n.pcpus),
+    )
+    reg.register(
+        "busy_ns", lambda: sum(p.busy_ns for n in cluster.nodes for p in n.pcpus)
+    )
+    reg.register(
+        "llc_misses",
+        lambda: sum(p.cache.total_miss_count for n in cluster.nodes for p in n.pcpus),
+    )
+    reg.register("messages_sent", lambda: cluster.fabric.messages_sent)
+    reg.register("bytes_sent", lambda: cluster.fabric.bytes_sent)
+    reg.register("nodes", lambda: [node_stats(n) for n in cluster.nodes])
+    return reg
+
+
+def world_registry(world) -> MetricsRegistry:
+    """One registry for a whole :class:`~repro.experiments.harness.CloudWorld`:
+    cluster metrics under ``cluster.``, each node under ``node.<i>.`` and
+    each guest VM under ``vm.<name>.``.  Values are live (callback gauges),
+    so the registry can be built once and snapshotted at any time."""
+    reg = MetricsRegistry()
+    reg.merge(cluster_registry(world.cluster), prefix="cluster.")
+    for node in world.cluster.nodes:
+        reg.merge(node_registry(node), prefix=f"node.{node.index}.")
+    for vm in world.vms:
+        reg.merge(vm_registry(vm), prefix=f"vm.{vm.name}.")
+    return reg
+
+
+# ----------------------------------------------------------------------
+# Historical plain-dict views (registry snapshots)
+# ----------------------------------------------------------------------
+def vm_stats(vm: "VM") -> dict:
+    """Per-VM counters as a plain dict (a ``vm_registry`` snapshot)."""
+    return vm_registry(vm).snapshot()
 
 
 def node_stats(node) -> dict:
-    """Per-node counters: context switches, busy time, cache totals."""
-    return {
-        "node": node.index,
-        "context_switches": sum(p.context_switches for p in node.pcpus),
-        "busy_ns": sum(p.busy_ns for p in node.pcpus),
-        "llc_misses": sum(p.cache.total_miss_count for p in node.pcpus),
-        "llc_penalty_ns": sum(p.cache.total_penalty_ns for p in node.pcpus),
-        "disk_requests": node.disk.requests,
-        "disk_bytes": node.disk.bytes_moved,
-    }
+    """Per-node counters as a plain dict (a ``node_registry`` snapshot)."""
+    return node_registry(node).snapshot()
 
 
 def cluster_stats(cluster: "Cluster") -> dict:
-    """Whole-cluster rollup, including fabric traffic."""
-    nodes = [node_stats(n) for n in cluster.nodes]
-    return {
-        "n_nodes": len(cluster.nodes),
-        "context_switches": sum(n["context_switches"] for n in nodes),
-        "busy_ns": sum(n["busy_ns"] for n in nodes),
-        "llc_misses": sum(n["llc_misses"] for n in nodes),
-        "messages_sent": cluster.fabric.messages_sent,
-        "bytes_sent": cluster.fabric.bytes_sent,
-        "nodes": nodes,
-    }
+    """Whole-cluster rollup as a plain dict (a ``cluster_registry`` snapshot)."""
+    return cluster_registry(cluster).snapshot()

@@ -1,0 +1,162 @@
+"""Metrics registry: named counters, gauges and deterministic histograms.
+
+Subsystems register metrics under dotted names (``sched.steals``,
+``vm.lu0.spin_total_ns``); a :meth:`MetricsRegistry.snapshot` walks them
+in *registration order* and returns a plain JSON-serializable dict, so
+two same-seed runs produce byte-identical snapshots.
+
+Two registration styles:
+
+* **owned instruments** — :meth:`counter` / :meth:`gauge` /
+  :meth:`histogram` return get-or-create objects the subsystem updates
+  in place (``reg.counter("sched.steals").inc()``);
+* **callback gauges** — :meth:`register` binds a name to a zero-argument
+  callable evaluated at snapshot time, which is how the existing
+  object-held counters (VCPU run time, PCPU context switches, guest spin
+  accumulators) are exposed without duplicating state.
+
+Histograms use *fixed* bucket bounds supplied at creation — never
+computed from observed data — so bucket counts are deterministic and
+comparable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"{self.name}: counters only increase (got {n})")
+        self.value += n
+
+    def read(self):
+        return self.value
+
+
+class Gauge:
+    """Last-value metric (set at will)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, v) -> None:
+        self.value = v
+
+    def read(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram: deterministic counts, no rebinning.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one overflow
+    bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"{name}: bucket bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, v) -> None:
+        self.count += 1
+        self.sum += v
+        for i, edge in enumerate(self.bounds):
+            if v <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def read(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Insertion-ordered name → metric map with get-or-create semantics."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], object]):
+        m = self._metrics.get(name)
+        if m is None:
+            m = factory()
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(m).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        if name not in self._metrics and bounds is None:
+            raise ValueError(f"histogram {name!r} needs bucket bounds on first use")
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def register(self, name: str, fn: Callable[[], object]) -> None:
+        """Bind ``name`` to a callable evaluated at snapshot time."""
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = fn
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Evaluate every metric (optionally filtered by dotted-name
+        ``prefix``) into a plain dict, in registration order."""
+        out: dict = {}
+        for name, m in self._metrics.items():
+            if prefix and not name.startswith(prefix):
+                continue
+            out[name] = m.read() if hasattr(m, "read") else m()
+        return out
+
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Re-register every metric of ``other`` under ``prefix + name``
+        (snapshot indirection: values stay live, not copied)."""
+        for name, m in other._metrics.items():
+            full = prefix + name
+            if full in self._metrics:
+                raise ValueError(f"metric {full!r} already registered")
+            self._metrics[full] = m

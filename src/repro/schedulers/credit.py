@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs import trace as obstrace
 from repro.sim.units import MSEC
 
 from repro.schedulers.base import (
@@ -108,6 +109,16 @@ class CreditScheduler(Scheduler):
         if vcpu.prio == PRIO_BOOST:
             self.stat_boost_wakes += 1
         qi = self.choose_wake_queue(vcpu)
+        if obstrace.enabled:
+            obstrace.emit(
+                "sched.wake",
+                self.vmm.sim.now,
+                node=self.vmm.node.index,
+                vcpu=vcpu.name,
+                vm=vcpu.vm.name,
+                rq=qi,
+                prio=vcpu.prio,
+            )
         vcpu.rq = qi
         self.runqs[qi].append(vcpu)
         vcpu.queued = True
@@ -130,6 +141,7 @@ class CreditScheduler(Scheduler):
                 self.vmm.sim.at(
                     start + self.params.ratelimit_ns,
                     lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
+                    cat="sched.tickle",
                 )
         elif (
             running_prio == PRIO_BOOST
@@ -144,6 +156,7 @@ class CreditScheduler(Scheduler):
             self.vmm.sim.at(
                 max(next_tick, start + self.params.ratelimit_ns),
                 lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
+                cat="sched.tickle",
             )
 
     def _may_preempt(self, vcpu: "VCPU", pcpu: "PCPU") -> bool:
@@ -211,6 +224,16 @@ class CreditScheduler(Scheduler):
         vcpu = self._pop_best(best_q)
         if vcpu is not None:
             self.stat_steals += 1
+            if obstrace.enabled:
+                obstrace.emit(
+                    "sched.steal",
+                    self.vmm.sim.now,
+                    node=self.vmm.node.index,
+                    vcpu=vcpu.name,
+                    vm=vcpu.vm.name,
+                    from_rq=vcpu.rq,
+                    to_rq=pcpu.index,
+                )
             vcpu.rq = pcpu.index
         return vcpu
 

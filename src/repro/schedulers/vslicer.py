@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs import trace as obstrace
 from repro.schedulers.credit import CreditParams, CreditScheduler
 from repro.sim.units import MSEC
 
@@ -63,9 +64,33 @@ class VSlicerScheduler(CreditScheduler):
             for v in vm.vcpus:
                 v.period_wakes = 0
             if wakes >= p.ls_min_wakes and util <= p.ls_max_util:
+                if vm.vmid not in self.ls_vms and obstrace.enabled:
+                    obstrace.emit(
+                        "slice.change",
+                        now,
+                        node=self.vmm.node.index,
+                        policy="VS",
+                        vm=vm.name,
+                        ls=True,
+                        applied_ns=p.micro_slice_ns,
+                        wakes=wakes,
+                        util=util,
+                    )
                 self.ls_vms[vm.vmid] = None
                 vm.slice_ns = p.micro_slice_ns
             else:
+                if vm.vmid in self.ls_vms and obstrace.enabled:
+                    obstrace.emit(
+                        "slice.change",
+                        now,
+                        node=self.vmm.node.index,
+                        policy="VS",
+                        vm=vm.name,
+                        ls=False,
+                        applied_ns=None,
+                        wakes=wakes,
+                        util=util,
+                    )
                 self.ls_vms.pop(vm.vmid, None)
                 vm.slice_ns = None
         super().on_period(now)

@@ -22,7 +22,13 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "on_simulator_created"]
+
+#: Optional callable invoked with every newly constructed :class:`Simulator`.
+#: The observability layer (:mod:`repro.obs.profiler`) uses this to attach a
+#: self-profiler to simulators created deep inside scenario builders without
+#: threading a reference through every call site.  ``None`` disables it.
+on_simulator_created: Optional[Callable[["Simulator"], None]] = None
 
 
 class SimulationError(RuntimeError):
@@ -36,13 +42,18 @@ class Event:
     and can be cancelled.  A cancelled event is skipped by the main loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "cat")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]) -> None:
+    def __init__(
+        self, time: int, seq: int, fn: Callable[[], None], cat: Optional[str] = None
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[[], None]] = fn
         self.cancelled = False
+        #: Profiling category tag (``"guest"``, ``"dom0"``, ``"vmm.slice"``,
+        #: ...); purely observational — never read by the event loop itself.
+        self.cat = cat
 
     def cancel(self) -> None:
         """Cancel the event; it will not fire.  Idempotent."""
@@ -72,37 +83,60 @@ class Simulator:
         not count).
     """
 
-    __slots__ = ("now", "_heap", "_seq", "events_processed", "_stopped", "trace")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "events_processed",
+        "cancelled_popped",
+        "_stopped",
+        "trace",
+        "profiler",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[Event] = []
         self._seq: int = 0
         self.events_processed: int = 0
+        #: Cancelled events lazily discarded when popped (waste metric).
+        self.cancelled_popped: int = 0
         self._stopped = False
         #: Optional callable(time, fn) invoked before each event; used by
-        #: tests and debugging tools.  ``None`` disables tracing (default).
+        #: the runtime sanitizer, tests and debugging tools.  ``None``
+        #: disables tracing (default).
         self.trace: Optional[Callable[[int, Callable[[], None]], None]] = None
+        #: Optional :class:`repro.obs.profiler.SimProfiler`; when set, the
+        #: loop routes each callback through ``profiler.run_event`` so
+        #: wall-clock time is attributed per category.  ``None`` = off.
+        self.profiler = None
+        if on_simulator_created is not None:
+            on_simulator_created(self)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def at(self, time: int, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run at absolute time ``time`` (ns)."""
+    def at(self, time: int, fn: Callable[[], None], cat: Optional[str] = None) -> Event:
+        """Schedule ``fn`` to run at absolute time ``time`` (ns).
+
+        ``cat`` is an optional profiling category tag; the self-profiler
+        attributes the callback's wall-clock cost to it.  It has no effect
+        on simulation behaviour.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        ev = Event(int(time), self._seq, fn)
+        ev = Event(int(time), self._seq, fn, cat)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
 
-    def after(self, delay: int, fn: Callable[[], None]) -> Event:
+    def after(self, delay: int, fn: Callable[[], None], cat: Optional[str] = None) -> Event:
         """Schedule ``fn`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + int(delay), fn)
+        return self.at(self.now + int(delay), fn, cat)
 
     # ------------------------------------------------------------------
     # Execution
@@ -121,6 +155,7 @@ class Simulator:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            self.cancelled_popped += 1
         return heap[0].time if heap else None
 
     def step(self) -> bool:
@@ -129,13 +164,17 @@ class Simulator:
         while heap:
             ev = heapq.heappop(heap)
             if ev.cancelled:
+                self.cancelled_popped += 1
                 continue
             self.now = ev.time
             fn = ev.fn
             ev.fn = None
             if self.trace is not None:
-                self.trace(self.now, fn)  # pragma: no cover - debug hook
-            fn()
+                self.trace(self.now, fn)
+            if self.profiler is None:
+                fn()
+            else:
+                self.profiler.run_event(ev.cat, fn)
             self.events_processed += 1
             return True
         return False
@@ -161,6 +200,7 @@ class Simulator:
             ev = heap[0]
             if ev.cancelled:
                 heapq.heappop(heap)
+                self.cancelled_popped += 1
                 continue
             if until is not None and ev.time > until:
                 break
@@ -169,8 +209,11 @@ class Simulator:
             fn = ev.fn
             ev.fn = None
             if self.trace is not None:
-                self.trace(self.now, fn)  # pragma: no cover - debug hook
-            fn()
+                self.trace(self.now, fn)
+            if self.profiler is None:
+                fn()
+            else:
+                self.profiler.run_event(ev.cat, fn)
             self.events_processed += 1
             processed += 1
             if max_events is not None and processed >= max_events:

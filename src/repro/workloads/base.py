@@ -210,7 +210,7 @@ class ParallelApp:
             return
         # Batch mode: restart in a fresh event to decouple from the last
         # rank's completion path.
-        self.sim.after(0, self._restart)
+        self.sim.after(0, self._restart, cat="app")
 
     def _restart(self) -> None:
         if self.finished:  # pragma: no cover - defensive

@@ -11,13 +11,14 @@ from repro.hypervisor.vm import VM
 from repro.hypervisor.vmm import VMM
 from repro.schedulers.credit import CreditParams, CreditScheduler
 from repro.sim.engine import Simulator
+from repro.sim.units import MSEC
 
 
 def make_node_world(
     n_nodes: int = 1,
     n_pcpus: int = 2,
     scheduler_factory=None,
-    period_ns: int = 30_000_000,
+    period_ns: int = 30 * MSEC,
 ):
     """A minimal wired world: cluster + VMM + dom0 per node.
 

@@ -54,7 +54,7 @@ def test_nonparallel_gets_default_or_admin_value():
 
 def test_no_parallel_vms_sets_all_defaults():
     sim, vmm, ctrl, par, non = make_controller(n_parallel=0, n_nonparallel=2)
-    non[0].slice_ns = 123456  # leftover value must be cleared
+    non[0].slice_ns = ns_from_ms(0.123456)  # leftover value must be cleared
     ctrl.on_period(30 * MSEC)
     assert non[0].slice_ns is None
 

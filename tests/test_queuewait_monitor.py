@@ -7,7 +7,7 @@ from repro.core.config import ATCConfig
 from repro.core.monitor import SpinLatencyMonitor
 from repro.experiments.harness import CloudWorld, WorldConfig
 from repro.schedulers.atc_sched import ATCParams
-from repro.sim.units import MSEC, SEC
+from repro.sim.units import MSEC, SEC, USEC
 
 from tests.conftest import add_guest_vm, make_node_world
 
@@ -48,7 +48,7 @@ def test_vmm_accounts_queue_wait():
 def test_monitor_reads_queue_wait_in_queuewait_mode():
     sim, cluster, vmms = make_node_world()
     vm = add_guest_vm(vmms[0], 1)
-    vm.period_queue_wait_ns = 5000
+    vm.period_queue_wait_ns = 5 * USEC
     vm.period_queue_waits = 2
     vm.kernel.record_spin_wait(999_999, "lock")  # must be ignored
     mon = SpinLatencyMonitor(ATCConfig(monitor_mode="queuewait"))

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.rng import SimRNG
-from repro.sim.units import MSEC, SEC
+from repro.sim.units import MSEC, SEC, USEC
 from repro.workloads.base import BSPSpec, ParallelApp, _peer_indices, bsp_rank_program
 from repro.workloads.npb import CLASS_SCALES, NPB_NAMES, NPB_SPECS, npb_spec
 
@@ -141,7 +141,7 @@ def test_comm_every_reduces_exchanges():
 # ParallelApp
 # ----------------------------------------------------------------------
 def tiny_spec(steps=3):
-    return BSPSpec("tiny", grain_ns=200_000, grain_cv=0.0, supersteps=steps,
+    return BSPSpec("tiny", grain_ns=200 * USEC, grain_cv=0.0, supersteps=steps,
                    pattern="ring", msg_bytes=256)
 
 
