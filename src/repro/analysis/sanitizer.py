@@ -21,6 +21,10 @@ simulations depend on:
   ``[min_threshold, default]``.
 * **SAN005 — latency sanity**: spin/queue-wait latencies fed to
   Algorithm 1 are never negative.
+* **SAN006 — crashed-node quiescence**: no scheduler decision runs on a
+  node that :mod:`repro.faults` crashed — a crashed node must be fully
+  quiet until its restart (any activity means a fault hook leaked an
+  event onto a dead node).
 
 Because the hooks only read state, a sanitized run is bit-identical to
 an unsanitized one.  Violations are collected as structured
@@ -95,6 +99,7 @@ class SimSanitizer:
     CREDIT = "SAN003"
     SLICE = "SAN004"
     LATENCY = "SAN005"
+    CRASHED = "SAN006"
 
     def __init__(
         self,
@@ -161,6 +166,15 @@ class SimSanitizer:
                 where=where,
             )
 
+    def _expect_alive(self, where: str, vmm: "VMM") -> None:
+        if vmm.node.crashed:
+            self.record(
+                self.CRASHED,
+                f"{where}: scheduler decision on crashed node {vmm.node.index}",
+                node=vmm.node.index,
+                where=where,
+            )
+
     def _install_vmm(self, vmm: "VMM") -> None:
         sched = vmm.scheduler
 
@@ -171,10 +185,12 @@ class SimSanitizer:
         orig_block = sched.on_block
 
         def on_wake(vcpu: "VCPU") -> None:
+            self._expect_alive("on_wake", vmm)
             self._expect_state("on_wake", vcpu, VCPUState.RUNNABLE)
             orig_wake(vcpu)
 
         def pick_next(pcpu):
+            self._expect_alive("pick_next", vmm)
             picked = orig_pick(pcpu)
             if picked is not None:
                 vcpu, slice_ns = picked
@@ -190,14 +206,17 @@ class SimSanitizer:
             return picked
 
         def on_slice_expired(vcpu: "VCPU") -> None:
+            self._expect_alive("on_slice_expired", vmm)
             self._expect_state("on_slice_expired", vcpu, VCPUState.RUNNABLE)
             orig_expired(vcpu)
 
         def on_preempted(vcpu: "VCPU") -> None:
+            self._expect_alive("on_preempted", vmm)
             self._expect_state("on_preempted", vcpu, VCPUState.RUNNABLE)
             orig_preempted(vcpu)
 
         def on_block(vcpu: "VCPU") -> None:
+            self._expect_alive("on_block", vmm)
             self._expect_state("on_block", vcpu, VCPUState.BLOCKED)
             orig_block(vcpu)
 

@@ -9,6 +9,7 @@ Examples::
     python -m repro mix --scheduler ATC --np-slice 6
     python -m repro typeb --scheduler ATC --nodes 6
     python -m repro probe --scheduler CR
+    python -m repro chaos --app is --nodes 2 --faults random:3:1
     python -m repro trace --app is --slice 30
     python -m repro perf
     python -m repro lint src/repro benchmarks tests
@@ -21,6 +22,14 @@ bypass), ``--json PATH`` exports the full result set, and ``--sanitize``
 runs every cell under the runtime invariant sanitizer
 (:mod:`repro.analysis.sanitizer` — read-only hooks, bit-identical
 results, violations reported as structured cell failures).
+``--cell-timeout S`` bounds each cell's host wall clock (hung workers
+are killed, the sweep continues) and ``--salvage PATH`` writes the
+structured partial-result report (:func:`repro.experiments.runner.salvage_report`).
+
+``chaos`` runs a baseline cell and a fault-injected cell
+(:mod:`repro.faults`) of the same world side by side; ``--faults``
+accepts ``random:N[:SEED]``, an inline JSON plan, or a plan file.
+``typea`` and ``sweep`` take the same ``--faults`` spec.
 
 ``trace`` runs one traced type-A cell (:mod:`repro.obs.trace`) and writes
 a JSON-lines trace plus a Chrome ``trace_event`` file (open in Perfetto
@@ -43,7 +52,13 @@ import sys
 from typing import Optional, Sequence
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunSpec, export_json, run_sweep, sweep_stats
+from repro.experiments.runner import (
+    RunSpec,
+    export_json,
+    run_sweep,
+    sweep_stats,
+    write_salvage,
+)
 from repro.experiments.scenarios import run_packet_path_probe
 from repro.schedulers.registry import scheduler_names
 from repro.workloads.npb import NPB_EXTENDED
@@ -75,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--sanitize", action="store_true",
                         help="run cells under the runtime invariant sanitizer "
                         "(bit-identical results; violations fail the cell)")
+        sp.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                        help="host wall-clock budget per cell; overdue workers "
+                        "are killed and the cell fails, the sweep continues")
+        sp.add_argument("--salvage", metavar="PATH", default=None,
+                        help="write the structured salvage report (healthy + "
+                        "failed cells) as JSON")
 
     def common(sp, app=True):
         sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
@@ -87,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.add_argument("--rounds", type=int, default=2)
     sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+    sp.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault plan: random:N[:SEED], inline JSON, or a plan file")
     runner_opts(sp)
 
     sp = sub.add_parser("compare", help="type A under every approach, normalized")
@@ -100,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--slices", default="30,12,6,1,0.3", help="comma-separated ms values")
     sp.add_argument("--npb-class", default="B", choices=["A", "B", "C"])
+    sp.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault plan: random:N[:SEED], inline JSON, or a plan file")
     runner_opts(sp)
 
     sp = sub.add_parser("mix", help="parallel + non-parallel coexistence (Figs. 2, 9)")
@@ -114,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--nodes", type=int, default=6)
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--horizon", type=float, default=8.0)
+    runner_opts(sp)
+
+    sp = sub.add_parser("chaos", help="fault-injected run vs clean baseline (repro.faults)")
+    common(sp)
+    sp.add_argument("--rounds", type=int, default=6)
+    sp.add_argument("--horizon", type=float, default=12.0, help="virtual seconds")
+    sp.add_argument("--faults", default="random:3:1", metavar="SPEC",
+                    help="fault plan: random:N[:SEED], inline JSON, or a plan file "
+                    "(default random:3:1)")
     runner_opts(sp)
 
     sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
@@ -172,17 +206,21 @@ def _progress(done: int, total: int, result) -> None:
     )
 
 
-def _run_cells(args, specs: list[RunSpec]) -> Optional[list]:
-    """Execute cells through the shared runner; None when any cell failed."""
+def _run_cells(args, specs: list[RunSpec], allow_partial: bool = False) -> Optional[list]:
+    """Execute cells through the shared runner; None when any cell failed
+    (unless ``allow_partial``, which returns whatever settled)."""
     progress = _progress if (args.jobs > 1 or len(specs) > 1) else None
     results = run_sweep(
         specs,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         progress=progress,
+        cell_timeout_s=getattr(args, "cell_timeout", None),
     )
     if args.json:
         export_json(results, args.json)
+    if getattr(args, "salvage", None):
+        print(f"salvage report: {write_salvage(results, args.salvage)}", file=sys.stderr)
     stats = sweep_stats(results)
     if len(specs) > 1:
         print(
@@ -204,23 +242,41 @@ def _run_cells(args, specs: list[RunSpec]) -> Optional[list]:
                 f"  {v['code']} @t={v['time_ns']}: {v['message']}",
                 file=sys.stderr,
             )
-    return None if failed else results
+    if failed and not allow_partial:
+        return None
+    return results
 
 
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
-    print("experiments: typea, compare, sweep, mix, typeb, probe")
+    print("experiments: typea, compare, sweep, mix, typeb, chaos, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
           "lint (static determinism checks; --list-rules for codes)")
 
 
+def _parse_faults(args, horizon_s: float) -> Optional[list]:
+    """``--faults`` spec -> plan dict list for scenario params (or None)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults.plan import parse_fault_spec
+    from repro.sim.units import SEC
+
+    plan = parse_fault_spec(spec, args.nodes, round(horizon_s * SEC))
+    return plan.to_dicts() if plan else None
+
+
 def _cmd_typea(args) -> int:
-    spec = RunSpec("type_a", dict(
+    params = dict(
         app_name=args.app, scheduler=args.scheduler, n_nodes=args.nodes,
         rounds=args.rounds, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
-    ), sanitize=args.sanitize)
+    )
+    faults = _parse_faults(args, 300.0)
+    if faults:
+        params["faults"] = faults
+    spec = RunSpec("type_a", params, sanitize=args.sanitize)
     results = _run_cells(args, [spec])
     if results is None:
         return 1
@@ -269,10 +325,13 @@ def _cmd_sweep(args) -> int:
         print(f"repro sweep: --slices expects comma-separated ms values, got {args.slices!r}",
               file=sys.stderr)
         return 2
+    faults = _parse_faults(args, 300.0)
+    extra = {"faults": faults} if faults else {}
     specs = [
         RunSpec("slice_sweep", dict(
             app_name=args.app, slice_ms_values=[sm], n_nodes=args.nodes,
             rounds=2, warmup_rounds=1, npb_class=args.npb_class, seed=args.seed,
+            **extra,
         ), label=f"sweep:{args.app}@{sm}ms", sanitize=args.sanitize)
         for sm in slices
     ]
@@ -340,6 +399,54 @@ def _cmd_typeb(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    faults = _parse_faults(args, args.horizon)
+    if not faults:
+        print("repro chaos: --faults resolved to an empty plan", file=sys.stderr)
+        return 2
+    base = dict(
+        app_name=args.app, scheduler=args.scheduler, n_nodes=args.nodes,
+        rounds=args.rounds, warmup_rounds=1, seed=args.seed,
+        horizon_s=args.horizon,
+    )
+    specs = [
+        RunSpec("type_a", dict(base), label="chaos:baseline", sanitize=args.sanitize),
+        RunSpec("type_a", dict(base, faults=faults), label="chaos:faulted",
+                sanitize=args.sanitize),
+    ]
+    if not getattr(args, "salvage", None):
+        args.salvage = "chaos_salvage.json"
+    results = _run_cells(args, specs, allow_partial=True)
+    rows = []
+    for r in results:
+        if r.ok:
+            v = r.value
+            rows.append((r.spec.label, v["rounds_measured"], v["mean_round_ns"] / 1e6,
+                         v["avg_spin_ns"] / 1e6, v["all_done"], v["events"]))
+        else:
+            err = (r.error or {}).get("type", "?")
+            rows.append((r.spec.label, "-", "-", "-", f"FAILED:{err}", "-"))
+    print(
+        format_table(
+            ["cell", "rounds", "mean round (ms)", "avg spin (ms)", "done", "events"],
+            rows,
+            title=f"Chaos — {args.app} on {args.nodes} nodes, plan {args.faults}",
+        )
+    )
+    faulted = next((r for r in results if r.spec.label == "chaos:faulted" and r.ok), None)
+    if faulted is not None and "faults" in faulted.value:
+        fs = faulted.value["faults"]
+        inj = ", ".join(f"{k}x{n}" for k, n in sorted(fs["injected"].items())) or "none"
+        healed = sum(fs["healed"].values())
+        print(
+            f"faults: {fs['events']} planned, injected [{inj}], {healed} healed; "
+            f"net: {fs['messages_dropped']} dropped, {fs['retransmits']} retransmits, "
+            f"{fs['messages_lost']} lost",
+            file=sys.stderr,
+        )
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _cmd_probe(args) -> int:
@@ -466,6 +573,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "mix": _cmd_mix,
         "typeb": _cmd_typeb,
+        "chaos": _cmd_chaos,
         "probe": _cmd_probe,
         "trace": _cmd_trace,
         "perf": _cmd_perf,

@@ -122,7 +122,7 @@ class PhysicalNode:
     """A physical machine: PCPUs + disk.  The VMM is attached by the
     hypervisor layer after construction."""
 
-    __slots__ = ("index", "params", "pcpus", "disk", "vmm", "sim")
+    __slots__ = ("index", "params", "pcpus", "disk", "vmm", "sim", "crashed")
 
     def __init__(self, sim, index: int, params: NodeParams | None = None) -> None:
         self.sim = sim
@@ -131,6 +131,9 @@ class PhysicalNode:
         self.pcpus = [PCPU(i, self, self.params.cache) for i in range(self.params.n_pcpus)]
         self.disk = Disk(sim, self.params.disk)
         self.vmm = None  # set by repro.hypervisor.vmm.VMM
+        #: Fault-injection crash flag (VMM.crash / restart): while set, no
+        #: VM on this node runs and the fabric drops deliveries to it.
+        self.crashed = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PhysicalNode {self.index} pcpus={len(self.pcpus)}>"

@@ -21,8 +21,11 @@ Fidelity notes
   the beta branch could never fire) and is implemented with ``beta``.
 * Printed line 15's ``timeSlice_{i-1} - alpha >= minThreshold`` in the
   latency-zero *restore* branch is likewise a typo; the evident intent —
-  step the slice back up toward DEFAULT by ``alpha`` (or ``beta`` when
-  close) — is implemented.
+  step the slice back up toward DEFAULT by ``alpha`` while a full coarse
+  step still fits, then by ``beta``, landing exactly on DEFAULT once the
+  slice is within a fine step of it — is implemented.  This mirrors the
+  shorten ladder: every arm is reachable and no single restore step
+  exceeds ``alpha``.
 """
 
 from __future__ import annotations
@@ -90,12 +93,16 @@ def compute_time_slice(
     # periods — the parallel phase ended; restore toward the default so
     # the VM does not keep paying context-switch overhead.
     if lat3 == 0 and lat2 == 0 and lat1 == 0:
-        if ts1 > default - alpha:
-            ts_i = default
-        elif ts1 + alpha <= default:
+        # Mirror of the shorten ladder: coarse step while a full alpha
+        # still fits under DEFAULT, fine step while a beta fits, exact
+        # DEFAULT once within a fine step (also clamps a slice that
+        # somehow exceeds DEFAULT back down to it).
+        if ts1 + alpha <= default:
             ts_i = ts1 + alpha
+        elif ts1 + beta <= default:
+            ts_i = ts1 + beta
         else:
-            ts_i = min(default, ts1 + beta)
+            ts_i = default
 
     return ts_i
 

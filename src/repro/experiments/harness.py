@@ -21,6 +21,8 @@ from typing import Optional, Sequence
 
 from repro.analysis.sanitizer import SimSanitizer
 from repro.cluster.network import NetworkParams
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.profiler import SimProfiler
 from repro.obs.trace import TraceLog
 from repro.cluster.node import NodeParams
@@ -87,6 +89,10 @@ class WorldConfig:
     #: Attach the wall-clock self-profiler (repro.obs.profiler) to the
     #: simulator.  Also read-only with respect to simulation state.
     profile: bool = False
+    #: Deterministic fault plan (repro.faults); ``None`` = no faults and
+    #: no fault hooks armed, so the run is bit-identical to a world built
+    #: before the fault subsystem existed.
+    faults: Optional[FaultPlan] = None
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -117,6 +123,9 @@ class CloudWorld:
         )
         self.profiler: Optional[SimProfiler] = (
             SimProfiler(self.sim) if cfg.profile else None
+        )
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self, cfg.faults) if cfg.faults else None
         )
         self._node_vm_load = [0] * cfg.n_nodes
         self._rng_key = 0

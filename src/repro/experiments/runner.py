@@ -38,6 +38,7 @@ import json
 import os
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,14 +46,20 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro.analysis.sanitizer import SanitizerViolationError
 from repro.experiments import scenarios
+from repro.sim import engine as sim_engine
+from repro.sim.engine import WatchdogExceeded, install_watchdog
 
 __all__ = [
     "SCENARIOS",
     "RunSpec",
     "RunResult",
+    "WorkerCrashError",
+    "CellTimeoutError",
     "run_sweep",
     "sweep_stats",
     "export_json",
+    "salvage_report",
+    "write_salvage",
     "default_cache_dir",
     "code_salt",
 ]
@@ -66,7 +73,24 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "type_b": scenarios.run_type_b,
     "type_b_mixed": scenarios.run_type_b_mixed,
     "packet_path_probe": scenarios.run_packet_path_probe,
+    "fault_probe": scenarios.run_fault_probe,
 }
+
+
+class WorkerCrashError(RuntimeError):
+    """A sweep worker process died (segfault, OOM kill, ``os._exit``).
+
+    Never raised: used as the ``error["type"]`` of the structured failure
+    record once a cell's bounded crash-retry budget is exhausted.
+    """
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded the host-side ``cell_timeout_s`` budget.
+
+    Never raised: used as the ``error["type"]`` of the structured failure
+    record.  Timeouts are not retried — a hung cell hangs again.
+    """
 
 _CACHE_VERSION = 1
 _code_salt_memo: Optional[str] = None
@@ -119,6 +143,13 @@ class RunSpec:
     but a profiled value embeds host wall-clock numbers, so profiled
     cells are cached separately and their ``"profile"`` content is
     machine-dependent.
+
+    ``max_sim_events`` / ``max_sim_ns`` arm a *simulated-time* watchdog
+    (:func:`repro.sim.engine.install_watchdog`) on every simulator the
+    cell creates: a runaway cell fails deterministically with
+    :class:`~repro.sim.engine.WatchdogExceeded` instead of spinning until
+    the host-side timeout kills it.  Folded into the cache key only when
+    set.
     """
 
     scenario: str
@@ -127,6 +158,8 @@ class RunSpec:
     sanitize: bool = False
     trace: bool = False
     profile: bool = False
+    max_sim_events: Optional[int] = None
+    max_sim_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -150,6 +183,10 @@ class RunSpec:
             payload["trace"] = True
         if self.profile:
             payload["profile"] = True
+        if self.max_sim_events is not None:
+            payload["max_sim_events"] = self.max_sim_events
+        if self.max_sim_ns is not None:
+            payload["max_sim_ns"] = self.max_sim_ns
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self, salt: Optional[str] = None) -> str:
@@ -166,6 +203,10 @@ class RunSpec:
             d["trace"] = True
         if self.profile:
             d["profile"] = True
+        if self.max_sim_events is not None:
+            d["max_sim_events"] = self.max_sim_events
+        if self.max_sim_ns is not None:
+            d["max_sim_ns"] = self.max_sim_ns
         return d
 
 
@@ -219,23 +260,37 @@ def _execute_cell(spec: RunSpec, retries: int = 1) -> dict:
     # Host wall-clock (never feeds simulation state, so exempt from the
     # determinism lint).
     t0 = time.perf_counter()  # repro: ignore[RPR001]
-    while attempts <= retries:
-        attempts += 1
-        try:
-            value = fn(**kwargs)
-            return {
-                "ok": True,
-                "value": value,
-                "error": None,
-                "wall_s": time.perf_counter() - t0,  # repro: ignore[RPR001]
-                "attempts": attempts,
-            }
-        except SanitizerViolationError as exc:
-            # Deterministic: a retry would record the same violations.
-            last_exc = exc
-            break
-        except Exception as exc:  # noqa: BLE001 - converted to a record
-            last_exc = exc
+    prev_hook = sim_engine.on_simulator_created
+    if spec.max_sim_events is not None or spec.max_sim_ns is not None:
+        # Arm the runaway watchdog on every simulator the cell builds,
+        # chaining whatever hook (profiler attach, ...) is already there.
+        def _hook(sim, _prev=prev_hook) -> None:
+            if _prev is not None:
+                _prev(sim)
+            install_watchdog(sim, spec.max_sim_events, spec.max_sim_ns)
+
+        sim_engine.on_simulator_created = _hook
+    try:
+        while attempts <= retries:
+            attempts += 1
+            try:
+                value = fn(**kwargs)
+                return {
+                    "ok": True,
+                    "value": value,
+                    "error": None,
+                    "wall_s": time.perf_counter() - t0,  # repro: ignore[RPR001]
+                    "attempts": attempts,
+                }
+            except (SanitizerViolationError, WatchdogExceeded) as exc:
+                # Deterministic: a retry would record the same violations /
+                # blow the same budget.
+                last_exc = exc
+                break
+            except Exception as exc:  # noqa: BLE001 - converted to a record
+                last_exc = exc
+    finally:
+        sim_engine.on_simulator_created = prev_hook
     error = {
         "type": type(last_exc).__name__,
         "message": str(last_exc),
@@ -296,6 +351,7 @@ def run_sweep(
     cache_dir: Optional[os.PathLike] = None,
     retries: int = 1,
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> list[RunResult]:
     """Execute every cell, in spec order, over ``jobs`` worker processes.
 
@@ -304,6 +360,22 @@ def run_sweep(
     a parallel sweep can always be checked against a serial one.  A cell
     that raises is retried ``retries`` times and then reported as a
     failed :class:`RunResult`; the sweep itself never aborts.
+
+    Graceful degradation (parallel path):
+
+    * ``cell_timeout_s`` bounds each cell's *host* wall clock.  An overdue
+      cell's worker is terminated, the cell fails with a
+      :class:`CellTimeoutError` record (no retry — a hang reproduces),
+      and the pool is rebuilt so the remaining cells keep running.
+    * A worker that dies (segfault, ``os._exit``, OOM kill) breaks the
+      pool; every in-flight cell earns a crash mark and is requeued until
+      its marks exceed ``retries``, at which point it fails with a
+      :class:`WorkerCrashError` record.  The pool is rebuilt with a short
+      exponential backoff between rebuilds.
+
+    Either way the sweep always returns a :class:`RunResult` per spec —
+    completed cells are never lost to one bad neighbour (see
+    :func:`salvage_report`).
 
     ``progress`` (if given) is invoked as ``progress(done, total, result)``
     each time a cell settles, in completion order.
@@ -344,21 +416,137 @@ def run_sweep(
             _cache_store(cache_root, spec.digest(salt), spec, res.value, salt)
         settle(idx, res)
 
+    def fail(idx: int, err_type: str, message: str, attempts: int, wall_s: float) -> None:
+        settle(
+            idx,
+            RunResult(
+                spec=specs[idx],
+                ok=False,
+                error={"type": err_type, "message": message, "attempts": attempts},
+                wall_s=wall_s,
+                attempts=attempts,
+            ),
+        )
+
     if jobs <= 1 or len(misses) <= 1:
         for i in misses:
             record(i, _execute_cell(specs[i], retries=retries))
-    else:
-        max_workers = min(jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pending = {
-                pool.submit(_execute_cell, specs[i], retries): i for i in misses
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    record(pending.pop(fut), fut.result())
+        return [r for r in results if r is not None]
+
+    max_workers = min(jobs, len(misses))
+    queue: deque[int] = deque(misses)
+    suspects: deque[int] = deque()
+    crash_marks = {i: 0 for i in misses}
+    rebuilds = 0
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    in_flight: dict = {}  # future -> (cell index, submit time, deadline)
+
+    def launch(i: int) -> None:
+        t_sub = time.monotonic()  # repro: ignore[RPR001]
+        deadline = None if cell_timeout_s is None else t_sub + cell_timeout_s
+        in_flight[pool.submit(_execute_cell, specs[i], retries)] = (i, t_sub, deadline)
+
+    def submit_ready() -> None:
+        # Windowed submission: at most ``max_workers`` cells in flight, so
+        # every in-flight cell is actually running and both the per-cell
+        # deadline and the crash blame stay meaningful.
+        while queue and len(in_flight) < max_workers:
+            launch(queue.popleft())
+        # Crash suspects retry in isolation — one at a time, nothing else
+        # in flight — because a dying worker breaks the whole pool and
+        # every concurrent future with it; only a solo re-crash proves the
+        # cell itself is guilty (and only then burns its retry budget).
+        if not queue and not in_flight and suspects:
+            launch(suspects.popleft())
+
+    def rebuild_pool() -> None:
+        nonlocal pool, rebuilds
+        rebuilds += 1
+        # Hung/broken workers don't exit on shutdown(); terminate directly.
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except OSError:  # repro: ignore[RPR031]  (already gone)
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        time.sleep(min(0.1 * (2 ** (rebuilds - 1)), 2.0))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def reap(fut, force_crash: bool = False) -> bool:
+        """Settle or requeue one no-longer-flying future.  Returns True if
+        the worker holding it had crashed."""
+        idx, t_sub, _deadline = in_flight.pop(fut)
+        wall = time.monotonic() - t_sub  # repro: ignore[RPR001]
+        if fut.done() and not fut.cancelled() and not force_crash:
+            try:
+                record(idx, fut.result())
+                return False
+            except BaseException as exc:  # noqa: BLE001 - broken pool
+                reason = f"worker died: {type(exc).__name__}: {exc}"
+        else:
+            reason = "worker pool broke while the cell was in flight"
+        crash_marks[idx] += 1
+        if crash_marks[idx] > retries:
+            fail(idx, WorkerCrashError.__name__, reason, crash_marks[idx], wall)
+        else:
+            suspects.append(idx)  # retry in isolation on the rebuilt pool
+        return True
+
+    try:
+        while queue or suspects or in_flight:
+            submit_ready()
+            timeout = None
+            if cell_timeout_s is not None and in_flight:
+                now = time.monotonic()  # repro: ignore[RPR001]
+                earliest = min(dl for _, _, dl in in_flight.values())
+                timeout = max(0.05, earliest - now)
+            finished, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+
+            broken = False
+            for fut in finished:
+                broken = reap(fut) or broken
+
+            overdue = []
+            if cell_timeout_s is not None:
+                now = time.monotonic()  # repro: ignore[RPR001]
+                overdue = [
+                    fut
+                    for fut, (_, _, dl) in in_flight.items()
+                    if dl is not None and now >= dl and not fut.done()
+                ]
+            if overdue:
+                # A hung worker never returns: kill the whole pool, fail the
+                # overdue cells, and resubmit the innocent bystanders.
+                for fut in overdue:
+                    idx, t_sub, _dl = in_flight.pop(fut)
+                    fail(
+                        idx,
+                        CellTimeoutError.__name__,
+                        f"cell exceeded host budget of {cell_timeout_s} s",
+                        1,
+                        time.monotonic() - t_sub,  # repro: ignore[RPR001]
+                    )
+                broken = True
+
+            if broken:
+                rebuild_pool()
+                # Anything else in flight went down with the pool: reap
+                # what finished (good results recorded, broken ones earn a
+                # crash mark), requeue the rest without blame.
+                for fut in list(in_flight):
+                    if fut.done() and not fut.cancelled():
+                        reap(fut)
+                    else:
+                        idx, _t, _dl = in_flight.pop(fut)
+                        queue.appendleft(idx)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
     return [r for r in results if r is not None]
+
+
+def _error_type(r: RunResult) -> str:
+    return (r.error or {}).get("type", "") if not r.ok else ""
 
 
 def sweep_stats(results: Sequence[RunResult]) -> dict:
@@ -368,9 +556,50 @@ def sweep_stats(results: Sequence[RunResult]) -> dict:
         "ok": sum(1 for r in results if r.ok),
         "failed": sum(1 for r in results if not r.ok),
         "cached": sum(1 for r in results if r.cached),
+        "timeouts": sum(1 for r in results if _error_type(r) == CellTimeoutError.__name__),
+        "worker_crashes": sum(
+            1 for r in results if _error_type(r) == WorkerCrashError.__name__
+        ),
         "wall_s": sum(r.wall_s for r in results),
         "events": sum(r.events for r in results),
     }
+
+
+def salvage_report(results: Sequence[RunResult]) -> dict:
+    """Partial-result salvage: what survived a degraded sweep, structured.
+
+    Splits a sweep into ``healthy`` (full :class:`RunResult` dicts, values
+    included) and ``failed`` (spec + error record, no value), so that a
+    sweep hit by crashes or timeouts still delivers every completed cell
+    in machine-readable form.  ``schema`` versions the layout for CI
+    consumers.
+    """
+    return {
+        "schema": "repro.sweep.salvage/v1",
+        "code_salt": code_salt(),
+        "stats": sweep_stats(results),
+        "healthy": [r.to_dict() for r in results if r.ok],
+        "failed": [
+            {
+                "spec": r.spec.to_dict(),
+                "error": r.error,
+                "attempts": r.attempts,
+                "wall_s": r.wall_s,
+            }
+            for r in results
+            if not r.ok
+        ],
+    }
+
+
+def write_salvage(results: Sequence[RunResult], path: os.PathLike) -> Path:
+    """Write :func:`salvage_report` as JSON; returns the path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(salvage_report(results), fh, indent=2, default=str)
+    return path
 
 
 def export_json(results: Sequence[RunResult], path: os.PathLike) -> None:

@@ -28,9 +28,11 @@ Setups reproduced:
 from __future__ import annotations
 
 import os
+import time
 from typing import Optional, Sequence
 
 from repro.experiments.harness import CloudWorld, WorldConfig
+from repro.faults.plan import FaultPlan
 from repro.guest.process import recv_block, send
 from repro.metrics.collectors import cluster_stats
 from repro.metrics.summary import mean
@@ -47,6 +49,7 @@ __all__ = [
     "run_type_b",
     "run_type_b_mixed",
     "run_packet_path_probe",
+    "run_fault_probe",
     "full_scale",
 ]
 
@@ -69,7 +72,11 @@ def _world(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> CloudWorld:
+    # Fault plans travel through scenario params as JSON dict lists so
+    # they are picklable and fold into the sweep cache key automatically.
+    plan = FaultPlan.from_dicts(faults) if faults else None
     return CloudWorld(
         WorldConfig(
             n_nodes=n_nodes,
@@ -83,6 +90,7 @@ def _world(
             trace=trace,
             trace_capacity=trace_capacity,
             profile=profile,
+            faults=plan,
         )
     )
 
@@ -98,6 +106,8 @@ def _attach_obs(result: dict, world: CloudWorld) -> dict:
         result["trace"] = world.tracelog.summary(include_records=True)
     if world.profiler is not None:
         result["profile"] = world.profiler.report()
+    if world.fault_injector is not None:
+        result["faults"] = world.fault_injector.stats
     return result
 
 
@@ -118,19 +128,21 @@ def run_type_a(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
     one VM per node each, all running ``app_name``.
 
     ``uniform_slice_ms`` forces a static guest slice (CR sweeps and the
     ``repro trace`` CLI); ``trace``/``profile`` attach the observability
-    layers and fold their outputs into the result.
+    layers and fold their outputs into the result; ``faults`` is a fault
+    plan as dict list (:meth:`repro.faults.plan.FaultPlan.to_dicts`).
     """
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params,
         vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
-        trace=trace, trace_capacity=trace_capacity, profile=profile,
+        trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
     )
     apps = []
     for k in range(n_vclusters):
@@ -170,19 +182,21 @@ def run_slice_sweep(
     vcpus_per_vm: int = 8,
     horizon_s: float = 300.0,
     sanitize: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Static slice sweep under CR (Figs. 5 and 8).
 
     Paper setup: two nodes, four VMs per node forming four identical
     two-VM virtual clusters.  Returns per-slice execution time, average
-    spinlock latency, LLC misses and context switches.
+    spinlock latency, LLC misses and context switches.  A ``faults`` plan
+    applies identically to every slice's world.
     """
     rows = []
     total_events = 0
     for sm in slice_ms_values:
         world = _world(
             n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm),
-            vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
+            vcpus_per_vm=vcpus_per_vm, sanitize=sanitize, faults=faults,
         )
         apps = []
         for k in range(n_vclusters):
@@ -223,6 +237,7 @@ def run_small_mix(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Section II-A2 platform (Figs. 2 and 9): two nodes, four VMs each;
     three two-VM virtual clusters run ``parallel_app`` in the background,
@@ -242,6 +257,7 @@ def run_small_mix(
         trace=trace,
         trace_capacity=trace_capacity,
         profile=profile,
+        faults=faults,
     )
     bg_apps = []
     for k in range(3):
@@ -297,13 +313,14 @@ def run_type_b(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Evaluation type B (Fig. 11): LLNL-trace virtual-cluster mix, every
     cluster running a random NPB kernel repeatedly;
     independent VMs run lu.B or is.B.  Per-VC mean round times returned."""
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
-        trace=trace, trace_capacity=trace_capacity, profile=profile,
+        trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
     )
     rng = world.rng.substream(999)
     mix = _scaled_vc_mix(world, rng)
@@ -351,13 +368,14 @@ def run_type_b_mixed(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Section IV-C (Figs. 12-14): type B clusters plus independent VMs
     running lu/is and the non-parallel suite.  One extra node hosts the
     httperf client (the paper drives web load from separate machines)."""
     world = _world(
         n_nodes + 1, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
-        trace=trace, trace_capacity=trace_capacity, profile=profile,
+        trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
     )
     # keep the client node (last index) out of general placement
     world._node_vm_load[n_nodes] = world.config.vms_per_node - 1
@@ -441,6 +459,7 @@ def run_packet_path_probe(
     trace: bool = False,
     trace_capacity: int = 65536,
     profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
 ) -> dict:
     """Fig. 4: measure the four scheduling-wait overhead sources on the
     cross-VM packet path while parallel load keeps the hosts busy.
@@ -458,6 +477,7 @@ def run_packet_path_probe(
         trace=trace,
         trace_capacity=trace_capacity,
         profile=profile,
+        faults=faults,
     )
     for k in range(3):
         vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")
@@ -509,3 +529,46 @@ class _ProcPair:
     def start(self) -> None:
         for p in self.procs:
             p.start()
+
+
+def run_fault_probe(
+    mode: str = "ok",
+    seed: int = 0,
+    hang_s: float = 30.0,
+    horizon_ms: float = 50.0,
+) -> dict:
+    """Degradation-test scenario: a tiny world that can misbehave on cue.
+
+    Modes: ``ok`` runs cleanly; ``raise`` throws (retryable failure path);
+    ``exit`` kills the worker process outright (``os._exit``, so no
+    exception propagates — exercises BrokenProcessPool recovery);
+    ``hang`` sleeps ``hang_s`` host seconds (cell-timeout path);
+    ``runaway`` floods the simulator with 1 µs self-rescheduling ticks so
+    only a watchdog or the horizon stops it.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim.units import USEC, ns_from_ms
+
+    if mode == "raise":
+        raise RuntimeError(f"fault_probe: injected failure (seed={seed})")
+    if mode == "exit":
+        os._exit(17)  # simulated worker crash: bypasses all exception handling
+    if mode == "hang":
+        time.sleep(hang_s)
+    sim = Simulator()
+    ticks = 0
+
+    def tick() -> None:
+        nonlocal ticks
+        ticks += 1
+        sim.after(1 * USEC, tick, cat="probe")
+
+    sim.after(0, tick, cat="probe")
+    sim.run(until=ns_from_ms(horizon_ms) if mode == "runaway" else ns_from_ms(1.0))
+    return {
+        "mode": mode,
+        "seed": seed,
+        "ticks": ticks,
+        "sim_time_ns": sim.now,
+        "events": sim.events_processed,
+    }

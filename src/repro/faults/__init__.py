@@ -1,0 +1,13 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Declarative, seeded fault plans (:mod:`repro.faults.plan`) applied to a
+wired :class:`~repro.experiments.harness.CloudWorld` through small hooks
+in the hypervisor and fabric (:mod:`repro.faults.inject`).  Every fault
+fires off the simulation clock — never wall clock — so the same seed and
+the same plan reproduce the same perturbed run bit-for-bit.
+"""
+
+from repro.faults.plan import KINDS, FaultEvent, FaultPlan, parse_fault_spec
+from repro.faults.inject import FaultInjector
+
+__all__ = ["KINDS", "FaultEvent", "FaultPlan", "FaultInjector", "parse_fault_spec"]

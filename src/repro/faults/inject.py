@@ -1,0 +1,172 @@
+"""Apply a :class:`~repro.faults.plan.FaultPlan` to a wired world.
+
+The injector schedules every plan event on the world's simulator at
+construction time (category ``"fault"``), arms the fabric's optional
+fault hooks only when the plan actually needs them, and heals each
+transient fault when its duration elapses.  All state transitions run off
+the simulation clock, so a faulted run is exactly reproducible from
+``(seed, plan)``.
+
+Overlap semantics: crash and pause faults are depth-counted per target
+(two overlapping crash windows keep the node down until *both* heal);
+NIC degradations stack, with heal restoring the previous degradation (or
+the clean link).  A node ``restart`` resumes every VM on the node, which
+deliberately clears any VM-pause window that started before the crash —
+a reboot forgets pre-crash administrative pauses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import RNG_KEY, FaultEvent, FaultPlan
+from repro.obs import trace as obstrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.harness import CloudWorld
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules, applies, and heals the faults of one plan."""
+
+    def __init__(self, world: "CloudWorld", plan: FaultPlan) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.plan = plan
+        n_nodes = len(world.cluster.nodes)
+        n_pcpus = len(world.cluster.nodes[0].pcpus) if n_nodes else 0
+        plan.validate(n_nodes, n_pcpus)
+        self.injected: dict[str, int] = {}
+        self.healed: dict[str, int] = {}
+        kinds = plan.kinds()
+        fabric = world.cluster.fabric
+        if "nic_degrade" in kinds:
+            # Dedicated sub-stream: drop draws never perturb workload RNG.
+            fabric.drop_rng = world.rng.substream(RNG_KEY, 0)
+        if "node_crash" in kinds:
+            nodes = world.cluster.nodes
+            fabric.crashed_of = lambda i: nodes[i].crashed
+        self._crash_depth = [0] * n_nodes
+        self._pause_depth: dict[str, int] = {}
+        #: Per-node stack of (bw_factor, drop_prob) degradations.
+        self._deg_stack: dict[int, list[tuple[float, float]]] = {}
+        for ev in plan.events:
+            self.sim.at(ev.at_ns, lambda e=ev: self._apply(e), cat="fault")
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Deterministic injection rollup for scenario results."""
+        fabric = self.world.cluster.fabric
+        return {
+            "events": len(self.plan.events),
+            "injected": {k: self.injected[k] for k in sorted(self.injected)},
+            "healed": {k: self.healed[k] for k in sorted(self.healed)},
+            "messages_dropped": fabric.messages_dropped,
+            "retransmits": fabric.retransmits,
+            "messages_lost": fabric.messages_lost,
+        }
+
+    # ------------------------------------------------------------------
+    def _emit(self, phase: str, ev: FaultEvent) -> None:
+        if obstrace.enabled:
+            obstrace.emit(
+                f"fault.{phase}",
+                self.sim.now,
+                fault=ev.kind,
+                node=ev.node,
+                vm=ev.vm or None,
+                pcpu=ev.pcpu if ev.kind == "pcpu_straggler" else None,
+                duration_ns=ev.duration_ns,
+            )
+
+    def _apply(self, ev: FaultEvent) -> None:
+        self.injected[ev.kind] = self.injected.get(ev.kind, 0) + 1
+        self._emit("inject", ev)
+        getattr(self, f"_apply_{ev.kind}")(ev)
+        if ev.duration_ns > 0:
+            self.sim.after(ev.duration_ns, lambda e=ev: self._heal(e), cat="fault")
+
+    def _heal(self, ev: FaultEvent) -> None:
+        self.healed[ev.kind] = self.healed.get(ev.kind, 0) + 1
+        self._emit("heal", ev)
+        getattr(self, f"_heal_{ev.kind}")(ev)
+
+    # -- node crash ------------------------------------------------------
+    def _apply_node_crash(self, ev: FaultEvent) -> None:
+        self._crash_depth[ev.node] += 1
+        self.world.vmms[ev.node].crash()
+
+    def _heal_node_crash(self, ev: FaultEvent) -> None:
+        self._crash_depth[ev.node] -= 1
+        if self._crash_depth[ev.node] <= 0:
+            self.world.vmms[ev.node].restart()
+
+    # -- dom0 stall / VM pause -------------------------------------------
+    def _target_vm(self, ev: FaultEvent):
+        vmm = self.world.vmms[ev.node]
+        if ev.kind == "dom0_stall":
+            return vmm.dom0.vm
+        if ev.vm:
+            for vm in vmm.vms:
+                if vm.name == ev.vm:
+                    return vm
+            raise ValueError(f"{ev.kind}: no VM named {ev.vm!r} on node {ev.node}")
+        guests = vmm.guest_vms
+        if not guests:
+            raise ValueError(f"{ev.kind}: node {ev.node} has no guest VM")
+        return guests[0]
+
+    def _pause(self, ev: FaultEvent) -> None:
+        vm = self._target_vm(ev)
+        self._pause_depth[vm.name] = self._pause_depth.get(vm.name, 0) + 1
+        self.world.vmms[ev.node].pause_vm(vm)
+
+    def _unpause(self, ev: FaultEvent) -> None:
+        vm = self._target_vm(ev)
+        self._pause_depth[vm.name] = self._pause_depth.get(vm.name, 1) - 1
+        if self._pause_depth[vm.name] <= 0 and not self.world.cluster.nodes[ev.node].crashed:
+            # While crashed, the eventual restart resumes every VM.
+            self.world.vmms[ev.node].resume_vm(vm)
+
+    _apply_dom0_stall = _pause
+    _heal_dom0_stall = _unpause
+    _apply_vm_pause = _pause
+    _heal_vm_pause = _unpause
+
+    # -- NIC degradation -------------------------------------------------
+    def _apply_nic_degrade(self, ev: FaultEvent) -> None:
+        stack = self._deg_stack.setdefault(ev.node, [])
+        stack.append((ev.bw_factor, ev.drop_prob))
+        self.world.cluster.fabric.degrade_link(ev.node, ev.bw_factor, ev.drop_prob)
+
+    def _heal_nic_degrade(self, ev: FaultEvent) -> None:
+        stack = self._deg_stack.get(ev.node, [])
+        if (ev.bw_factor, ev.drop_prob) in stack:
+            stack.remove((ev.bw_factor, ev.drop_prob))
+        fabric = self.world.cluster.fabric
+        if stack:
+            fabric.degrade_link(ev.node, *stack[-1])
+        else:
+            fabric.restore_link(ev.node)
+
+    # -- PCPU straggler --------------------------------------------------
+    def _apply_pcpu_straggler(self, ev: FaultEvent) -> None:
+        end_ns = self.sim.now + ev.duration_ns
+        self._straggle_tick(ev, end_ns)
+
+    def _heal_pcpu_straggler(self, ev: FaultEvent) -> None:
+        """The tick chain self-terminates at its end time."""
+
+    def _straggle_tick(self, ev: FaultEvent, end_ns: int) -> None:
+        vmm = self.world.vmms[ev.node]
+        if not vmm.node.crashed:
+            # Interference steals the core for an instant: whatever runs is
+            # forced off and must win the run queue again (context-switch +
+            # LLC refill costs land on the victim).
+            vmm.preempt(vmm.node.pcpus[ev.pcpu])
+        nxt = self.sim.now + ev.steal_period_ns
+        if nxt < end_ns:
+            self.sim.at(nxt, lambda: self._straggle_tick(ev, end_ns), cat="fault")

@@ -55,6 +55,7 @@ class VCPU:
         "period_run_ns",
         "period_wakes",
         "wake_ns",
+        "wake_pending",
         # scheduler-owned fields
         "credit",
         "prio",
@@ -73,6 +74,9 @@ class VCPU:
         self.period_run_ns = 0
         self.period_wakes = 0
         self.wake_ns = 0
+        #: A wake arrived while the VM was paused (fault injection); the
+        #: VMM replays it on resume.
+        self.wake_pending = False
         self.credit = 0.0
         self.prio = 1  # UNDER
         self.queued = False
@@ -84,7 +88,13 @@ class VCPU:
 
     def wake(self) -> None:
         """Make a blocked VCPU runnable (event-channel notification,
-        timer expiry, message arrival...).  No-op unless BLOCKED."""
+        timer expiry, message arrival...).  No-op unless BLOCKED.
+
+        While the VM is paused (fault injection / node crash) the wake is
+        latched instead of delivered; the VMM replays it on resume."""
+        if self.vm.paused:
+            self.wake_pending = True
+            return
         if self.state is VCPUState.BLOCKED:
             self.state = VCPUState.RUNNABLE
             self.period_wakes += 1
@@ -123,6 +133,7 @@ class VM:
         "weight",
         "slice_ns",
         "admin_slice_ns",
+        "paused",
         "kernel",
         "llc_misses",
         "llc_penalty_ns",
@@ -157,6 +168,9 @@ class VM:
         #: Administrator-specified slice for non-parallel VMs (Algorithm 2's
         #: flexibility interface); ``None`` = use VMM default.
         self.admin_slice_ns: Optional[int] = None
+        #: Fault-injection pause flag (VMM.pause_vm / resume_vm): while set,
+        #: no VCPU of this VM runs and wakes are latched, not delivered.
+        self.paused = False
         self.kernel = None  # attached by repro.guest.kernel.GuestKernel
         self.llc_misses = 0
         self.llc_penalty_ns = 0

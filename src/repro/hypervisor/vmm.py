@@ -82,9 +82,12 @@ class VMM:
 
     def _period_tick(self) -> None:
         now = self.sim.now
-        self.scheduler.on_period(now)
-        for hook in self.period_hooks:
-            hook(now)
+        if not self.node.crashed:
+            self.scheduler.on_period(now)
+            for hook in self.period_hooks:
+                hook(now)
+        # Keep ticking even while crashed so the period phase survives a
+        # restart without rescheduling bookkeeping.
         self.sim.after(self.period_ns, self._period_tick, cat="vmm.period")
 
     # ------------------------------------------------------------------
@@ -214,6 +217,64 @@ class VMM:
         """Dispatch ``pcpu`` if idle (used by schedulers after queueing)."""
         if pcpu.current is None:
             self.dispatch(pcpu)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def pause_vm(self, vm: VM, redispatch: bool = True) -> None:
+        """Freeze ``vm``: deschedule its running VCPUs, withdraw queued
+        ones, and latch any wake that arrives while paused (the guest's
+        pending timers / deliveries replay on resume).  Idempotent.
+
+        ``redispatch=False`` is used by :meth:`crash`, which frees every
+        PCPU at once and must not re-dispatch in between."""
+        if vm.paused:
+            return
+        vm.paused = True
+        freed: list["PCPU"] = []
+        for vcpu in vm.vcpus:
+            if vcpu.state is VCPUState.RUNNING:
+                pcpu = vcpu.pcpu
+                vcpu.runner.on_preempt(self.sim.now)
+                self._stop_current(pcpu, VCPUState.BLOCKED)
+                vcpu.wake_pending = True
+                freed.append(pcpu)
+            elif vcpu.state is VCPUState.RUNNABLE:
+                self.scheduler.remove_queued(vcpu)
+                vcpu.state = VCPUState.BLOCKED
+                vcpu.wake_pending = True
+        if redispatch:
+            for pcpu in freed:
+                self.dispatch(pcpu)
+
+    def resume_vm(self, vm: VM) -> None:
+        """Unfreeze ``vm`` and replay latched wakes.  Idempotent."""
+        if not vm.paused:
+            return
+        vm.paused = False
+        for vcpu in vm.vcpus:
+            if vcpu.wake_pending:
+                vcpu.wake_pending = False
+                vcpu.wake()
+
+    def crash(self) -> None:
+        """Take the whole node down: every VM (dom0 included) is paused
+        and the node is flagged crashed, which gates the period tick and
+        lets the fabric drop in-flight deliveries.  Idempotent."""
+        if self.node.crashed:
+            return
+        for vm in self.vms:
+            self.pause_vm(vm, redispatch=False)
+        self.node.crashed = True
+
+    def restart(self) -> None:
+        """Bring a crashed node back: clear the flag, then resume every
+        VM (replaying wakes latched while down).  Idempotent."""
+        if not self.node.crashed:
+            return
+        self.node.crashed = False
+        for vm in self.vms:
+            self.resume_vm(vm)
 
     # ------------------------------------------------------------------
     @property

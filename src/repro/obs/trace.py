@@ -32,6 +32,12 @@ Record kinds (``TraceLog.KINDS``):
 ``pkt.hop``
     One timestamped hop of the Fig. 4 dom0 packet path (``send``,
     ``netback_tx``, ``arrive``, ``delivered``).
+``fault.inject``
+    A :mod:`repro.faults` plan event fired: node crash, dom0 stall, NIC
+    degradation, PCPU straggler, or VM pause (with its target and
+    duration).
+``fault.heal``
+    The matching recovery: restart, resume, or link restoration.
 
 Activation is scoped: ``with log.activate(): world.run(...)``.  Only one
 log is active at a time per process (sweep workers are separate
@@ -102,6 +108,8 @@ class TraceLog:
         "vcpu.state",
         "spin.episode",
         "pkt.hop",
+        "fault.inject",
+        "fault.heal",
     )
 
     __slots__ = ("capacity", "_buf", "_next", "total", "dropped", "by_kind")

@@ -66,6 +66,13 @@ class Scheduler(abc.ABC):
     def on_block(self, vcpu: "VCPU") -> None:
         """A running VCPU blocked voluntarily (default: nothing to do)."""
 
+    def remove_queued(self, vcpu: "VCPU") -> None:
+        """Withdraw a queued RUNNABLE VCPU from the run queues without
+        dispatching it — the VMM's fault-injection pause path.  Schedulers
+        with explicit queues must drop the VCPU from them; the default
+        only clears the bookkeeping flag."""
+        vcpu.queued = False
+
     # -- periodic accounting ----------------------------------------------
     def on_period(self, now: int) -> None:
         """Called once per VMM scheduling period (default: nothing)."""

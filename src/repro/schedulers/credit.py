@@ -150,7 +150,9 @@ class CreditScheduler(Scheduler):
         ):
             # The current VCPU is protected (BOOST, or a co-scheduled gang
             # member) — but only until the next global tick: re-evaluate
-            # the tickle then.
+            # the tickle then.  This is the second deferral path, counted
+            # like the ratelimit one.
+            self.stat_deferred_tickles += 1
             tick = self.params.tick_ns
             next_tick = (now // tick + 1) * tick
             self.vmm.sim.at(
@@ -244,6 +246,22 @@ class CreditScheduler(Scheduler):
         if vcpu is None:
             return None
         return vcpu, self.slice_for(vcpu)
+
+    def remove_queued(self, vcpu: "VCPU") -> None:
+        """Remove a queued RUNNABLE VCPU from the run queues without
+        dispatching it (fault-injection VM pause path)."""
+        if not vcpu.queued:
+            return
+        try:
+            self.runqs[vcpu.rq].remove(vcpu)
+        except ValueError:
+            # Defensive: home-queue bookkeeping went stale (steal race);
+            # fall back to a scan so the VCPU cannot be picked while paused.
+            for q in self.runqs:
+                if vcpu in q:
+                    q.remove(vcpu)
+                    break
+        vcpu.queued = False
 
     # ------------------------------------------------------------------
     # Requeue paths

@@ -22,7 +22,14 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
-__all__ = ["Event", "Simulator", "SimulationError", "on_simulator_created"]
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "WatchdogExceeded",
+    "install_watchdog",
+    "on_simulator_created",
+]
 
 #: Optional callable invoked with every newly constructed :class:`Simulator`.
 #: The observability layer (:mod:`repro.obs.profiler`) uses this to attach a
@@ -33,6 +40,49 @@ on_simulator_created: Optional[Callable[["Simulator"], None]] = None
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class WatchdogExceeded(SimulationError):
+    """A simulation ran past its :func:`install_watchdog` budget.
+
+    The sweep runner treats this as a non-retryable cell failure: a run
+    that blew its event or simulated-time budget once will do so again
+    deterministically, so retrying would only burn wall clock.
+    """
+
+
+def install_watchdog(
+    sim: "Simulator",
+    max_events: Optional[int] = None,
+    max_now_ns: Optional[int] = None,
+) -> None:
+    """Arm a simulated-time / event-count watchdog on ``sim``.
+
+    Piggybacks on the per-event ``sim.trace`` probe (chaining any tracer
+    already installed, e.g. the runtime sanitizer) and raises
+    :exc:`WatchdogExceeded` from inside the run loop once either budget is
+    exceeded.  Purely observational until it fires: the check reads
+    counters the loop maintains anyway, so a run that stays within budget
+    is bit-identical with or without the watchdog.
+    """
+    if max_events is None and max_now_ns is None:
+        return
+    prev = sim.trace
+    budget_events = None if max_events is None else sim.events_processed + max_events
+
+    def _watch(now: int, fn: Callable[[], None]) -> None:
+        if prev is not None:
+            prev(now, fn)
+        if budget_events is not None and sim.events_processed >= budget_events:
+            raise WatchdogExceeded(
+                f"watchdog: event budget {max_events} exhausted at t={now}"
+            )
+        if max_now_ns is not None and now > max_now_ns:
+            raise WatchdogExceeded(
+                f"watchdog: simulated time {now} ns past budget {max_now_ns} ns"
+            )
+
+    sim.trace = _watch
 
 
 class Event:

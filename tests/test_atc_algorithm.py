@@ -181,6 +181,90 @@ def test_zero_latency_never_shortens(slices):
 
 
 # ----------------------------------------------------------------------
+# Restore ladder (lines 12-20): every arm reachable, exact convergence
+# ----------------------------------------------------------------------
+def test_restore_alpha_arm_while_full_step_fits():
+    cur = DEF - A
+    ts = compute_time_slice([0, 0, 0], [cur] * 3, CFG)
+    assert ts == DEF  # exactly one coarse step away
+
+
+def test_restore_beta_arm_when_alpha_overshoots():
+    """Regression: the fine step-up arm used to be unreachable — a slice
+    within alpha of DEFAULT (but more than beta away) must step by beta."""
+    cur = DEF - A + B
+    assert cur + A > DEF and cur + B <= DEF  # squarely in the beta arm
+    ts = compute_time_slice([0, 0, 0], [cur] * 3, CFG)
+    assert ts == cur + B
+
+
+def test_restore_lands_exactly_on_default_from_within_beta():
+    cur = DEF - B // 2
+    ts = compute_time_slice([0, 0, 0], [cur] * 3, CFG)
+    assert ts == DEF
+
+
+def test_restore_clamps_slice_above_default():
+    cur = DEF + 5 * MSEC
+    ts = compute_time_slice([0, 0, 0], [cur] * 3, CFG)
+    assert ts == DEF
+
+
+@given(st.integers(min_value=THR, max_value=DEF))
+def test_restore_ladder_converges_exactly_to_default(start):
+    """From any admissible slice, repeated zero-latency periods walk the
+    slice monotonically up to exactly DEFAULT, each step bounded by alpha,
+    without ever overshooting or stalling."""
+    cur = start
+    steps = 0
+    while cur != DEF:
+        nxt = compute_time_slice([0, 0, 0], [cur] * 3, CFG)
+        assert cur < nxt <= DEF  # strict progress, no overshoot
+        assert nxt - cur <= A
+        cur = nxt
+        steps += 1
+        assert steps <= (DEF - start) // B + 2  # no stall
+
+
+# Arbitrary-but-valid configs: beta < alpha, 0 < threshold < default, with
+# sizes kept small enough that convergence walks stay cheap.
+cfg_st = st.builds(
+    lambda b, da, thr, dd: ATCConfig(
+        beta_ns=b, alpha_ns=b + da, min_threshold_ns=thr, default_ns=thr + dd
+    ),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+
+
+@given(cfg_st, st.floats(min_value=0.0, max_value=1.0))
+def test_restore_ladder_converges_for_any_config(cfg, frac):
+    lo, hi = cfg.min_threshold_ns, cfg.default_ns
+    cur = lo + round(frac * (hi - lo))
+    for _ in range((hi - lo) // cfg.beta_ns + 2):
+        if cur == hi:
+            break
+        nxt = compute_time_slice([0, 0, 0], [cur] * 3, cfg)
+        assert cur < nxt <= hi
+        assert nxt - cur <= cfg.alpha_ns
+        cur = nxt
+    assert cur == hi
+
+
+@given(cfg_st, st.floats(min_value=0.0, max_value=1.0))
+def test_shorten_and_restore_ladders_are_mirrors(cfg, frac):
+    """One restore step from ``ts`` then one shorten step never undershoots
+    the threshold, and both laws stay inside [threshold, default]."""
+    lo, hi = cfg.min_threshold_ns, cfg.default_ns
+    ts = lo + round(frac * (hi - lo))
+    up = compute_time_slice([0, 0, 0], [ts] * 3, cfg)
+    down = compute_time_slice([1.0, 1.0, 2.0], [up] * 3, cfg)
+    assert lo <= down <= up <= hi
+
+
+# ----------------------------------------------------------------------
 # ATCVmState
 # ----------------------------------------------------------------------
 def test_state_warmup_keeps_current_slice():

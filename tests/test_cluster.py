@@ -131,6 +131,99 @@ def test_fabric_counters():
     assert fab.bytes_sent == 1200
 
 
+def test_tx_ns_matches_closed_form_exactly():
+    """Regression: tx_ns used float division and truncated fractional
+    nanoseconds on non-default bandwidths.  It must equal the exact
+    rational closed form ceil(wire_bits * 1e9 / bps) for any bandwidth."""
+    from fractions import Fraction
+
+    for bps in (1e9, 1e8, 2.5e9, 4e10, 1e9 / 3, 9.37e8):
+        p = NetworkParams(bandwidth_bps=bps)
+        for nbytes in (0, 1, 100, 1447, 1448, 1449, 1_000_000):
+            npackets = max(1, -(-nbytes // p.mtu_payload_bytes))
+            bits = (nbytes + npackets * p.framing_bytes) * 8
+            exact = Fraction(bits) * Fraction(10**9) / Fraction(round(bps))
+            want = -(-exact.numerator // exact.denominator)  # ceil
+            assert p.tx_ns(nbytes) == want, (bps, nbytes)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=10**6, max_value=10**11),
+)
+def test_tx_ns_is_integer_and_never_undercharges(nbytes, bps):
+    from fractions import Fraction
+
+    p = NetworkParams(bandwidth_bps=float(bps))
+    got = p.tx_ns(nbytes)
+    assert isinstance(got, int) and got >= 1  # framing alone costs wire time
+    npackets = max(1, -(-nbytes // p.mtu_payload_bytes))
+    bits = (nbytes + npackets * p.framing_bytes) * 8
+    assert got >= Fraction(bits) * Fraction(10**9) / Fraction(bps)
+
+
+def test_degraded_link_stretches_serialization():
+    p = NetworkParams()
+    sim = Simulator()
+    fab = Fabric(sim, p)
+    clean = fab.transmit(0, 1, 10_000, lambda: None)
+    fab.degrade_link(0, bw_factor=0.5)
+    sim2 = Simulator()
+    fab2 = Fabric(sim2, p)
+    fab2.degrade_link(0, bw_factor=0.5)
+    slow = fab2.transmit(0, 1, 10_000, lambda: None)
+    assert slow > clean
+    fab2.restore_link(0)
+    fab2.restore_link(0)  # idempotent
+    sim3 = Simulator()
+    fab3 = Fabric(sim3, p)
+    assert fab3.transmit(0, 1, 10_000, lambda: None) == clean
+
+
+def test_dropped_messages_retransmit_and_arrive():
+    from repro.sim.rng import SimRNG
+
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams())
+    fab.drop_rng = SimRNG(1).substream(0xFA, 0)
+    fab.degrade_link(0, drop_prob=0.5)
+    delivered = []
+    for i in range(20):
+        fab.transmit(0, 1, 1000, lambda i=i: delivered.append(i))
+    sim.run()
+    assert sorted(delivered) == list(range(20))  # retransmit recovers all
+    assert fab.messages_dropped > 0
+    assert fab.retransmits == fab.messages_dropped
+    assert fab.messages_lost == 0
+
+
+def test_certain_loss_gives_up_after_max_retransmits():
+    from repro.sim.rng import SimRNG
+
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams(max_retransmits=3))
+    fab.drop_rng = SimRNG(1).substream(0xFA, 0)
+    fab.degrade_link(0, drop_prob=0.999999999)
+    delivered = []
+    fab.transmit(0, 1, 1000, lambda: delivered.append(1))
+    sim.run()
+    assert delivered == []
+    assert fab.messages_lost == 1
+    assert fab.messages_dropped == 4  # initial attempt + 3 retransmits
+
+
+def test_crashed_destination_drops_delivery():
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams())
+    crashed = {1}
+    fab.crashed_of = lambda i: i in crashed
+    delivered = []
+    fab.transmit(0, 1, 1000, lambda: delivered.append("dead"))
+    fab.transmit(0, 2, 1000, lambda: delivered.append("alive"))
+    sim.run()
+    assert delivered == ["alive"]
+
+
 # ----------------------------------------------------------------------
 # Node / disk / topology
 # ----------------------------------------------------------------------

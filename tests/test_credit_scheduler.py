@@ -184,6 +184,55 @@ def test_pop_best_prefers_boost():
     assert sched._pop_best(q) is None
 
 
+def _contended_pair():
+    """One PCPU, a running hog, and an idle latency VM ready to wake."""
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    vmm = vmms[0]
+    hog = add_guest_vm(vmm, 1, name="hog")
+    lat = add_guest_vm(vmm, 1, name="lat")
+    start_hog(hog)
+    vmm.start()
+    sim.run(until=100 * USEC)  # hog is mid-slice, well inside the ratelimit
+    assert hog.vcpus[0].state is VCPUState.RUNNING
+    lat.vcpus[0].credit = 1000.0  # positive effective credit -> BOOST wake
+    return sim, vmm, hog, lat
+
+
+def test_ratelimit_deferral_counts_tickle():
+    """Path 1: a higher-priority wake inside the ratelimit window defers."""
+    sim, vmm, hog, lat = _contended_pair()
+    sched = vmm.scheduler
+    cur = hog.vcpus[0]
+    cur.prio = PRIO_UNDER  # plain running priority; BOOST wake outranks it
+    before_def = sched.stat_deferred_tickles
+    before_pre = sched.stat_wake_preemptions
+    lat.vcpus[0].wake()
+    assert sched.stat_deferred_tickles == before_def + 1
+    assert sched.stat_wake_preemptions == before_pre  # not an instant preempt
+    assert any(
+        ev.cat == "sched.tickle" and not ev.cancelled for ev in sim._heap
+    ), "deferred tickle must be scheduled"
+
+
+def test_boost_protection_deferral_counts_tickle():
+    """Path 2 (regression): a wake blocked only by the runner's transient
+    BOOST protection is a deferred tickle too — the branch used to skip
+    the ``stat_deferred_tickles`` increment."""
+    sim, vmm, hog, lat = _contended_pair()
+    sched = vmm.scheduler
+    cur = hog.vcpus[0]
+    cur.prio = PRIO_BOOST  # protected until the next tick...
+    cur.credit = -1000.0  # ...but OVER on credits once deboosted
+    before_def = sched.stat_deferred_tickles
+    before_pre = sched.stat_wake_preemptions
+    lat.vcpus[0].wake()  # BOOST wake: equal now, higher after the tick
+    assert sched.stat_deferred_tickles == before_def + 1
+    assert sched.stat_wake_preemptions == before_pre
+    assert any(
+        ev.cat == "sched.tickle" and not ev.cancelled for ev in sim._heap
+    ), "deferred tickle must be scheduled"
+
+
 def test_scheduler_statistics_counters():
     """The introspection counters move under a contended workload."""
     sim, cluster, vmms = make_node_world(n_pcpus=2)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import (
+    SimulationError,
+    Simulator,
+    WatchdogExceeded,
+    install_watchdog,
+)
+from repro.sim.units import USEC
 
 
 def test_initial_state(sim):
@@ -226,3 +232,140 @@ def test_stop_leaves_clock_at_last_event(sim):
     sim.at(100, lambda: None)
     sim.run(until=50)
     assert sim.now == 10
+
+
+def test_stop_before_run_is_cleared_on_entry(sim):
+    """run() arms a fresh loop: a stale stop() from outside the loop must
+    not suppress the next run."""
+    fired = []
+    sim.stop()
+    sim.at(5, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+
+
+def test_stop_preserves_fifo_among_simultaneous_events(sim):
+    """Stopping mid-timestamp must not reorder the remaining same-time
+    events on resume."""
+    order = []
+    sim.at(10, lambda: order.append("a"))
+    sim.at(10, sim.stop)
+    sim.at(10, lambda: order.append("b"))
+    sim.at(10, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a"]
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 10
+
+
+def test_stop_then_run_until_does_not_advance_clock(sim):
+    """A stopped run never rounds the clock up to ``until``; the deadline
+    only applies to the run that reaches it."""
+    sim.at(10, sim.stop)
+    sim.run(until=500)
+    assert sim.now == 10
+    sim.run(until=500)  # queue empty -> drains to the deadline
+    assert sim.now == 500
+
+
+def test_peek_lazily_discards_cancelled_prefix(sim):
+    evs = [sim.at(i + 1, lambda: None) for i in range(4)]
+    evs[0].cancel()
+    evs[1].cancel()
+    assert sim.cancelled_popped == 0
+    assert sim.peek() == 3  # pops the two cancelled heads
+    assert sim.cancelled_popped == 2
+    assert sim.peek() == 3  # idempotent: nothing further discarded
+    assert sim.cancelled_popped == 2
+
+
+def test_peek_empty_after_all_cancelled(sim):
+    evs = [sim.at(i + 1, lambda: None) for i in range(3)]
+    for ev in evs:
+        ev.cancel()
+    assert sim.peek() is None
+    assert sim.cancelled_popped == 3
+    assert sim.pending() == 0
+
+
+def test_cancelled_popped_counts_every_lazy_discard(sim):
+    """run()/step()/peek() jointly account for each cancelled event exactly
+    once, and none of them executes or bumps events_processed."""
+    keep = []
+    live = [sim.at(10 * (i + 1), lambda i=i: keep.append(i)) for i in range(3)]
+    dead = [sim.at(5 * (i + 1), lambda: keep.append("dead")) for i in range(4)]
+    for ev in dead:
+        ev.cancel()
+    live[1].cancel()
+    sim.run()
+    assert keep == [0, 2]
+    assert sim.events_processed == 2
+    assert sim.cancelled_popped == 5
+
+
+def test_cancel_after_peek_discard_is_harmless(sim):
+    ev = sim.at(5, lambda: None)
+    sim.at(9, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 9  # ev discarded from the heap here
+    ev.cancel()  # handle outlives the heap entry; still idempotent
+    sim.run()
+    assert sim.events_processed == 1
+
+
+# ----------------------------------------------------------------------
+# install_watchdog: budget enforcement via the trace probe
+# ----------------------------------------------------------------------
+def test_watchdog_event_budget_raises(sim):
+    install_watchdog(sim, max_events=3)
+    for i in range(10):
+        sim.at(i, lambda: None)
+    with pytest.raises(WatchdogExceeded, match="event budget"):
+        sim.run()
+    assert sim.events_processed == 3
+
+
+def test_watchdog_sim_time_budget_raises(sim):
+    install_watchdog(sim, max_now_ns=100)
+    sim.at(50, lambda: None)
+    sim.at(200, lambda: None)
+    with pytest.raises(WatchdogExceeded, match="simulated time"):
+        sim.run()
+    assert sim.now == 200  # the offending event is where it fired
+
+
+def test_watchdog_budget_is_relative_to_install_point(sim):
+    for i in range(5):
+        sim.at(i, lambda: None)
+    sim.run()
+    install_watchdog(sim, max_events=3)
+    for i in range(5):
+        sim.after(1 + i, lambda: None)
+    with pytest.raises(WatchdogExceeded):
+        sim.run()
+    assert sim.events_processed == 8  # 5 before + 3 budgeted after
+
+
+def test_watchdog_chains_existing_trace_hook(sim):
+    seen = []
+    sim.trace = lambda t, fn: seen.append(t)
+    install_watchdog(sim, max_events=100)
+    sim.at(7, lambda: None)
+    sim.run()
+    assert seen == [7]  # previous probe still fires
+
+
+def test_watchdog_without_budgets_is_a_no_op(sim):
+    probe = sim.trace
+    install_watchdog(sim)
+    assert sim.trace is probe
+
+
+def test_watchdog_within_budget_leaves_run_untouched(sim):
+    order = []
+    for i in range(5):
+        sim.at(i, lambda i=i: order.append(i))
+    install_watchdog(sim, max_events=50, max_now_ns=1 * USEC)
+    sim.run()
+    assert order == list(range(5))
