@@ -25,6 +25,12 @@ simulations depend on:
   node that :mod:`repro.faults` crashed — a crashed node must be fully
   quiet until its restart (any activity means a fault hook leaked an
   event onto a dead node).
+* **SAN007 — single residency**: after a live-migration handoff
+  (:mod:`repro.migration`), no scheduler decision touches a VCPU whose
+  VM now lives on another node (the source must forget the VM
+  atomically), and the migrating VM must stay fully frozen — paused,
+  every VCPU BLOCKED — for the whole stop-and-copy window (the engine
+  reports window breaks through :meth:`SimSanitizer.record`).
 
 Because the hooks only read state, a sanitized run is bit-identical to
 an unsanitized one.  Violations are collected as structured
@@ -100,6 +106,7 @@ class SimSanitizer:
     SLICE = "SAN004"
     LATENCY = "SAN005"
     CRASHED = "SAN006"
+    MIGRATION = "SAN007"
 
     def __init__(
         self,
@@ -175,6 +182,19 @@ class SimSanitizer:
                 where=where,
             )
 
+    def _expect_resident(self, where: str, vcpu: "VCPU", vmm: "VMM") -> None:
+        if vcpu.vm.node is not vmm.node:
+            self.record(
+                self.MIGRATION,
+                f"{where}: {vcpu.name} scheduled on node {vmm.node.index} but its "
+                f"VM resides on node {vcpu.vm.node.index} (stale residency after "
+                f"migration handoff)",
+                vcpu=vcpu.name,
+                node=vmm.node.index,
+                resident_node=vcpu.vm.node.index,
+                where=where,
+            )
+
     def _install_vmm(self, vmm: "VMM") -> None:
         sched = vmm.scheduler
 
@@ -186,6 +206,7 @@ class SimSanitizer:
 
         def on_wake(vcpu: "VCPU") -> None:
             self._expect_alive("on_wake", vmm)
+            self._expect_resident("on_wake", vcpu, vmm)
             self._expect_state("on_wake", vcpu, VCPUState.RUNNABLE)
             orig_wake(vcpu)
 
@@ -194,6 +215,7 @@ class SimSanitizer:
             picked = orig_pick(pcpu)
             if picked is not None:
                 vcpu, slice_ns = picked
+                self._expect_resident("pick_next", vcpu, vmm)
                 self._expect_state("pick_next", vcpu, VCPUState.RUNNABLE)
                 if slice_ns <= 0:
                     self.record(
@@ -207,16 +229,19 @@ class SimSanitizer:
 
         def on_slice_expired(vcpu: "VCPU") -> None:
             self._expect_alive("on_slice_expired", vmm)
+            self._expect_resident("on_slice_expired", vcpu, vmm)
             self._expect_state("on_slice_expired", vcpu, VCPUState.RUNNABLE)
             orig_expired(vcpu)
 
         def on_preempted(vcpu: "VCPU") -> None:
             self._expect_alive("on_preempted", vmm)
+            self._expect_resident("on_preempted", vcpu, vmm)
             self._expect_state("on_preempted", vcpu, VCPUState.RUNNABLE)
             orig_preempted(vcpu)
 
         def on_block(vcpu: "VCPU") -> None:
             self._expect_alive("on_block", vmm)
+            self._expect_resident("on_block", vcpu, vmm)
             self._expect_state("on_block", vcpu, VCPUState.BLOCKED)
             orig_block(vcpu)
 

@@ -10,6 +10,7 @@ Examples::
     python -m repro typeb --scheduler ATC --nodes 6
     python -m repro probe --scheduler CR
     python -m repro chaos --app is --nodes 2 --faults random:3:1
+    python -m repro migrate --policy demix --placement pack
     python -m repro trace --app is --slice 30
     python -m repro perf
     python -m repro lint src/repro benchmarks tests
@@ -30,6 +31,13 @@ structured partial-result report (:func:`repro.experiments.runner.salvage_report
 (:mod:`repro.faults`) of the same world side by side; ``--faults``
 accepts ``random:N[:SEED]``, an inline JSON plan, or a plan file.
 ``typea`` and ``sweep`` take the same ``--faults`` spec.
+
+``migrate`` runs the mixed-tenancy rebalancing scenario
+(:mod:`repro.migration`): a static-placement baseline cell next to a
+cell where the chosen policy (``demix`` / ``consolidate`` /
+``evacuate``) live-migrates VMs at runtime, reporting parallel round
+times, completed migrations and per-VM downtime.  It accepts the same
+``--faults`` spec (``evacuate`` drains crashed / degraded nodes).
 
 ``trace`` runs one traced type-A cell (:mod:`repro.obs.trace`) and writes
 a JSON-lines trace plus a Chrome ``trace_event`` file (open in Perfetto
@@ -150,6 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
                     "(default random:3:1)")
     runner_opts(sp)
 
+    sp = sub.add_parser("migrate", help="live-migration rebalancing vs static placement (repro.migration)")
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--nodes", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--app", default="lu", choices=NPB_EXTENDED)
+    sp.add_argument("--policy", default="demix",
+                    choices=["demix", "consolidate", "evacuate", "none"],
+                    help="rebalancing policy (default demix; 'none' attaches "
+                    "the engine without a controller)")
+    sp.add_argument("--placement", default="pack", metavar="POLICY",
+                    help="initial placement: spread, pack, striped, or "
+                    "random:SEED (default pack, which mixes clusters)")
+    sp.add_argument("--clusters", type=int, default=2, metavar="N",
+                    help="parallel virtual clusters (default 2)")
+    sp.add_argument("--vms-per-cluster", type=int, default=2, metavar="N")
+    sp.add_argument("--horizon", type=float, default=10.0, help="virtual seconds")
+    sp.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault plan: random:N[:SEED], inline JSON, or a plan file")
+    runner_opts(sp)
+
     sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
     sp.add_argument("--scheduler", default="CR", choices=scheduler_names())
     sp.add_argument("--seed", type=int, default=0)
@@ -250,7 +278,7 @@ def _run_cells(args, specs: list[RunSpec], allow_partial: bool = False) -> Optio
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
-    print("experiments: typea, compare, sweep, mix, typeb, chaos, probe")
+    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
           "lint (static determinism checks; --list-rules for codes)")
@@ -449,6 +477,53 @@ def _cmd_chaos(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_migrate(args) -> int:
+    faults = _parse_faults(args, args.horizon)
+    base = dict(
+        placement=args.placement, scheduler=args.scheduler, n_nodes=args.nodes,
+        n_clusters=args.clusters, vms_per_cluster=args.vms_per_cluster,
+        app_name=args.app, seed=args.seed, horizon_s=args.horizon,
+    )
+    if faults:
+        base["faults"] = faults
+    specs = [
+        RunSpec("migration_rebalance", dict(base, policy="static"),
+                label="migrate:static", sanitize=args.sanitize),
+        RunSpec("migration_rebalance", dict(base, policy=args.policy),
+                label=f"migrate:{args.policy}", sanitize=args.sanitize),
+    ]
+    results = _run_cells(args, specs)
+    if results is None:
+        return 1
+    rows = []
+    for r in results:
+        v = r.value
+        mig = v.get("migration", {})
+        rows.append((
+            r.spec.label, v["parallel_mean_round_ns"] / 1e6,
+            mig.get("completed", 0), mig.get("aborted", 0),
+            mig.get("downtime_total_ns", 0) / 1e6, v["events"],
+        ))
+    print(
+        format_table(
+            ["cell", "parallel round (ms)", "migrations", "aborted",
+             "downtime (ms)", "events"],
+            rows,
+            title=f"Migration rebalance — {args.app} x{args.clusters} clusters, "
+            f"{args.placement} placement on {args.nodes} nodes",
+        )
+    )
+    rebalanced = results[1].value
+    moved = {
+        vm: node for vm, node in rebalanced["final_nodes"].items()
+        if results[0].value["final_nodes"].get(vm) != node
+    }
+    if moved:
+        placed = ", ".join(f"{vm}->node{n}" for vm, n in sorted(moved.items()))
+        print(f"moved: {placed}", file=sys.stderr)
+    return 0
+
+
 def _cmd_probe(args) -> int:
     r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
                               n_probes=args.probes, seed=args.seed,
@@ -574,6 +649,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mix": _cmd_mix,
         "typeb": _cmd_typeb,
         "chaos": _cmd_chaos,
+        "migrate": _cmd_migrate,
         "probe": _cmd_probe,
         "trace": _cmd_trace,
         "perf": _cmd_perf,

@@ -133,6 +133,12 @@ class Fabric:
         """Heal a degraded link.  Idempotent."""
         self._degraded.pop(node, None)
 
+    @property
+    def degraded_nodes(self) -> list[int]:
+        """Node indices with a currently degraded NIC, ascending (the
+        migration rebalancer's ``evacuate`` policy reads this)."""
+        return sorted(self._degraded)
+
     # ------------------------------------------------------------------
     def transmit(
         self,

@@ -31,13 +31,15 @@ from repro.guest.kernel import GuestKernel
 from repro.hypervisor.dom0 import Dom0, Dom0Params
 from repro.hypervisor.vm import VM
 from repro.hypervisor.vmm import VMM
+from repro.migration.engine import MigrationConfig, MigrationEngine
+from repro.migration.rebalancer import Rebalancer
 from repro.schedulers.base import SchedulerParams
 from repro.schedulers.registry import make_scheduler_factory
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRNG
 from repro.sim.units import MSEC, SEC
 from repro.virtcluster.cluster import VirtualCluster
-from repro.virtcluster.placement import pack_placement, spread_placement
+from repro.virtcluster.placement import place
 from repro.workloads.base import BSPSpec, ParallelApp
 from repro.workloads.nonparallel import (
     CPU_APP_SPECS,
@@ -93,6 +95,15 @@ class WorldConfig:
     #: no fault hooks armed, so the run is bit-identical to a world built
     #: before the fault subsystem existed.
     faults: Optional[FaultPlan] = None
+    #: Default VM placement policy for ``new_vm`` / ``virtual_cluster``
+    #: (see repro.virtcluster.placement: spread / pack / striped /
+    #: "random:SEED").
+    placement: str = "spread"
+    #: Live migration & rebalancing control plane (repro.migration);
+    #: ``None`` = subsystem not constructed.  An enabled-but-idle control
+    #: plane draws no RNG and adds no events, so such a run stays
+    #: bit-identical to one without the subsystem.
+    migration: Optional[MigrationConfig] = None
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -131,6 +142,12 @@ class CloudWorld:
         self._rng_key = 0
         self.vms: list[VM] = []
         self.virtual_clusters: list[VirtualCluster] = []
+        self.migration_engine: Optional[MigrationEngine] = None
+        self.rebalancer: Optional[Rebalancer] = None
+        if cfg.migration is not None:
+            self.migration_engine = MigrationEngine(self, cfg.migration.params)
+            if cfg.migration.policy != "none":
+                self.rebalancer = Rebalancer(self, self.migration_engine, cfg.migration)
         self.apps: list[ParallelApp] = []  # tracked (finite-round) jobs
         self.background: list = []  # infinite jobs and non-parallel apps
         self._started = False
@@ -181,7 +198,11 @@ class CloudWorld:
         """
         cfg = self.config
         if node_idx is None:
-            node_idx = spread_placement(1, self._node_vm_load, cfg.vms_per_node)[0]
+            assignment, new_loads = place(
+                cfg.placement, 1, self._node_vm_load, cfg.vms_per_node, cluster=name or "vm"
+            )
+            self._node_vm_load[:] = new_loads
+            node_idx = assignment[0]
         else:
             if self._node_vm_load[node_idx] >= cfg.vms_per_node:
                 raise RuntimeError(f"node {node_idx} is at VM capacity")
@@ -194,18 +215,28 @@ class CloudWorld:
         name: Optional[str] = None,
         node_indices: Optional[Sequence[int]] = None,
         n_vcpus: Optional[int] = None,
-        placement: str = "spread",
+        placement: Optional[str] = None,
     ) -> VirtualCluster:
         """Create a virtual cluster of parallel VMs.
 
-        ``placement="spread"`` (the paper's setup) puts each VM on a
-        different node where possible; ``"pack"`` fills nodes in order
-        (for ablations isolating the cross-VM network overhead).
+        ``placement`` names a policy from
+        :data:`repro.virtcluster.placement.PLACEMENTS` (or
+        ``"random:SEED"``); ``None`` uses ``WorldConfig.placement``.
+        ``"spread"`` (the paper's setup) puts each VM on a different node
+        where possible; ``"pack"`` fills nodes in order (for ablations
+        isolating the cross-VM network overhead).
         """
         name = name or f"vc{len(self.virtual_clusters)}"
         if node_indices is None:
-            place = spread_placement if placement == "spread" else pack_placement
-            node_indices = place(n_vms, self._node_vm_load, self.config.vms_per_node)
+            assignment, new_loads = place(
+                placement or self.config.placement,
+                n_vms,
+                self._node_vm_load,
+                self.config.vms_per_node,
+                cluster=name,
+            )
+            self._node_vm_load[:] = new_loads
+            node_indices = assignment
         else:
             for ni in node_indices:
                 if self._node_vm_load[ni] >= self.config.vms_per_node:

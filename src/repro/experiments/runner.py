@@ -74,6 +74,7 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "type_b_mixed": scenarios.run_type_b_mixed,
     "packet_path_probe": scenarios.run_packet_path_probe,
     "fault_probe": scenarios.run_fault_probe,
+    "migration_rebalance": scenarios.run_migration_rebalance,
 }
 
 

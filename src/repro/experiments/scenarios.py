@@ -23,6 +23,10 @@ Setups reproduced:
   (web server driven from a dedicated client node).
 * ``run_packet_path_probe`` — Fig. 4: per-hop timestamps of cross-VM
   messages under load, splitting the four scheduling-wait overheads.
+* ``run_migration_rebalance`` — mixed-tenancy world (Fig. 12/13-style)
+  under a live-migration rebalancing policy (:mod:`repro.migration`):
+  compares static placements against dynamically demixed/consolidated/
+  evacuated ones.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.harness import CloudWorld, WorldConfig
 from repro.faults.plan import FaultPlan
+from repro.migration.engine import MigrationConfig
 from repro.guest.process import recv_block, send
 from repro.metrics.collectors import cluster_stats
 from repro.metrics.summary import mean
@@ -50,6 +55,7 @@ __all__ = [
     "run_type_b_mixed",
     "run_packet_path_probe",
     "run_fault_probe",
+    "run_migration_rebalance",
     "full_scale",
 ]
 
@@ -73,9 +79,12 @@ def _world(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    placement: str = "spread",
+    migration: Optional[dict] = None,
 ) -> CloudWorld:
-    # Fault plans travel through scenario params as JSON dict lists so
-    # they are picklable and fold into the sweep cache key automatically.
+    # Fault plans and migration configs travel through scenario params as
+    # JSON dicts so they are picklable and fold into the sweep cache key
+    # automatically.
     plan = FaultPlan.from_dicts(faults) if faults else None
     return CloudWorld(
         WorldConfig(
@@ -91,6 +100,8 @@ def _world(
             trace_capacity=trace_capacity,
             profile=profile,
             faults=plan,
+            placement=placement,
+            migration=MigrationConfig.from_dict(migration) if migration else None,
         )
     )
 
@@ -108,6 +119,10 @@ def _attach_obs(result: dict, world: CloudWorld) -> dict:
         result["profile"] = world.profiler.report()
     if world.fault_injector is not None:
         result["faults"] = world.fault_injector.stats
+    if world.migration_engine is not None:
+        result["migration"] = world.migration_engine.stats
+    if world.rebalancer is not None:
+        result["rebalancer"] = world.rebalancer.stats
     return result
 
 
@@ -515,6 +530,72 @@ def run_packet_path_probe(
         "mean_netback_rx_wait_ns": mean([p.t_delivered - p.t_arrive for p in stamped]),
         "mean_consume_wait_ns": mean([p.t_consumed - p.t_delivered for p in stamped]),
         "mean_end_to_end_ns": mean([p.t_consumed - p.t_send for p in stamped]),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }, world)
+
+
+def run_migration_rebalance(
+    policy: str = "demix",
+    placement: str = "pack",
+    scheduler: str = "ATC",
+    n_nodes: int = 3,
+    n_clusters: int = 2,
+    vms_per_cluster: int = 2,
+    vms_per_node: int = 4,
+    vcpus_per_vm: int = 4,
+    app_name: str = "lu",
+    n_nonparallel: int = 1,
+    seed: int = 0,
+    horizon_s: float = 10.0,
+    migration: Optional[dict] = None,
+    sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
+) -> dict:
+    """Mixed-tenancy world under a live-migration rebalancing policy.
+
+    ``n_clusters`` virtual clusters of ``vms_per_cluster`` VMs each run
+    ``app_name`` in the background; ``n_nonparallel`` independent VMs run
+    sphinx3.  The initial ``placement`` (typically ``"pack"``, which mixes
+    clusters on shared hosts) is then revisited by the ``policy``:
+
+    * ``"static"`` — no migration subsystem at all (baseline);
+    * ``"none"``   — engine constructed but no rebalancer (bit-identity
+      control: must match ``"static"`` exactly);
+    * ``"demix"`` / ``"consolidate"`` / ``"evacuate"`` — live policies
+      (:mod:`repro.migration.policies`).
+
+    ``migration`` holds :class:`~repro.migration.engine.MigrationConfig`
+    overrides as a JSON-friendly dict (``control_every``, ``params``...).
+    """
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=vcpus_per_vm, vms_per_node=vms_per_node,
+        sanitize=sanitize, trace=trace, trace_capacity=trace_capacity,
+        profile=profile, faults=faults, placement=placement,
+        migration=None if policy == "static" else {"policy": policy, **(migration or {})},
+    )
+    apps = []
+    for k in range(n_clusters):
+        vc = world.virtual_cluster(n_vms=vms_per_cluster, name=f"vc{k}")
+        apps.append(world.add_npb(app_name, vc.vms, rounds=None, warmup_rounds=1))
+    for j in range(n_nonparallel):
+        world.add_cpu_app("sphinx3", world.new_vm(name=f"np{j}"))
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return _attach_obs({
+        "scheduler": scheduler,
+        "policy": policy,
+        "placement": placement,
+        "app": app_name,
+        "parallel_mean_round_ns": mean([t for a in apps for t in a.round_times]),
+        "per_cluster_mean_round_ns": {
+            f"vc{k}": apps[k].mean_round_ns for k in range(n_clusters)
+        },
+        "final_nodes": {vm.name: vm.node.index for vm in world.vms},
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
     }, world)

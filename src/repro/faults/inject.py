@@ -7,12 +7,15 @@ transient fault when its duration elapses.  All state transitions run off
 the simulation clock, so a faulted run is exactly reproducible from
 ``(seed, plan)``.
 
-Overlap semantics: crash and pause faults are depth-counted per target
-(two overlapping crash windows keep the node down until *both* heal);
-NIC degradations stack, with heal restoring the previous degradation (or
-the clean link).  A node ``restart`` resumes every VM on the node, which
-deliberately clears any VM-pause window that started before the crash —
-a reboot forgets pre-crash administrative pauses.
+Overlap semantics: crash windows are depth-counted per node (two
+overlapping crash windows keep the node down until *both* heal); VM
+pauses nest natively in the VMM (``VM.pause_depth``), so overlapping
+``vm_pause`` faults — or a fault pause overlapping a migration
+stop-and-copy — keep the VM frozen until every window releases.  NIC
+degradations stack, with heal restoring the previous degradation (or
+the clean link).  A node ``restart`` resumes every VM on the node and
+force-clears the pause depth — a reboot forgets pre-crash
+administrative pauses.
 """
 
 from __future__ import annotations
@@ -49,7 +52,6 @@ class FaultInjector:
             nodes = world.cluster.nodes
             fabric.crashed_of = lambda i: nodes[i].crashed
         self._crash_depth = [0] * n_nodes
-        self._pause_depth: dict[str, int] = {}
         #: Per-node stack of (bw_factor, drop_prob) degradations.
         self._deg_stack: dict[int, list[tuple[float, float]]] = {}
         for ev in plan.events:
@@ -110,10 +112,13 @@ class FaultInjector:
         if ev.kind == "dom0_stall":
             return vmm.dom0.vm
         if ev.vm:
-            for vm in vmm.vms:
-                if vm.name == ev.vm:
-                    return vm
-            raise ValueError(f"{ev.kind}: no VM named {ev.vm!r} on node {ev.node}")
+            # Named VMs may have been live-migrated off ev.node since the
+            # plan was written: search the whole cluster.
+            for other in self.world.vmms:
+                for vm in other.vms:
+                    if vm.name == ev.vm:
+                        return vm
+            raise ValueError(f"{ev.kind}: no VM named {ev.vm!r} in the cluster")
         guests = vmm.guest_vms
         if not guests:
             raise ValueError(f"{ev.kind}: node {ev.node} has no guest VM")
@@ -121,15 +126,14 @@ class FaultInjector:
 
     def _pause(self, ev: FaultEvent) -> None:
         vm = self._target_vm(ev)
-        self._pause_depth[vm.name] = self._pause_depth.get(vm.name, 0) + 1
-        self.world.vmms[ev.node].pause_vm(vm)
+        vm.node.vmm.pause_vm(vm)
 
     def _unpause(self, ev: FaultEvent) -> None:
         vm = self._target_vm(ev)
-        self._pause_depth[vm.name] = self._pause_depth.get(vm.name, 1) - 1
-        if self._pause_depth[vm.name] <= 0 and not self.world.cluster.nodes[ev.node].crashed:
-            # While crashed, the eventual restart resumes every VM.
-            self.world.vmms[ev.node].resume_vm(vm)
+        # The VMM's pause depth keeps the VM frozen while other windows
+        # (overlapping faults, migration stop-and-copy) are still open; a
+        # node restart force-clears the depth, making this a no-op.
+        vm.node.vmm.resume_vm(vm)
 
     _apply_dom0_stall = _pause
     _heal_dom0_stall = _unpause

@@ -180,7 +180,18 @@ class _Dom0Worker:
 class Dom0:
     """The driver domain of one node."""
 
-    __slots__ = ("sim", "vmm", "fabric", "params", "vm", "queue", "workers", "packets_tx", "packets_rx")
+    __slots__ = (
+        "sim",
+        "vmm",
+        "fabric",
+        "params",
+        "vm",
+        "queue",
+        "workers",
+        "packets_tx",
+        "packets_rx",
+        "packets_forwarded",
+    )
 
     def __init__(self, sim, vmm: "VMM", fabric: "Fabric", params: Dom0Params | None = None) -> None:
         self.sim = sim
@@ -205,6 +216,7 @@ class Dom0:
         vmm.dom0 = self
         self.packets_tx = 0
         self.packets_rx = 0
+        self.packets_forwarded = 0
 
     # ------------------------------------------------------------------
     def _enqueue(self, cost_ns: int, fn: Callable[[], None]) -> None:
@@ -266,7 +278,25 @@ class Dom0:
         self._enqueue(self.params.netback_rx_ns, lambda: self._rx_done(pkt))
 
     def _rx_done(self, pkt: Packet) -> None:
-        """Steps 8-9: copy into the guest ring and signal its event channel."""
+        """Steps 8-9: copy into the guest ring and signal its event channel.
+
+        If the destination VM was live-migrated away while the packet was
+        in flight (or queued behind netback), dom0 forwards it to the VM's
+        current node instead — delivery to a stale residency is
+        structurally impossible (sanitizer rule SAN007)."""
+        dst_node = pkt.dst_vm.node
+        if dst_node is not self.vmm.node:
+            self.packets_forwarded += 1
+            if obstrace.enabled:
+                self._emit_hop("forward", pkt)
+            dst_dom0 = dst_node.vmm.dom0
+            self.fabric.transmit(
+                self.vmm.node.index,
+                dst_node.index,
+                pkt.nbytes,
+                lambda: dst_dom0.recv_packet(pkt),
+            )
+            return
         pkt.t_delivered = self.sim.now
         if obstrace.enabled:
             self._emit_hop("delivered", pkt)

@@ -134,6 +134,7 @@ class VM:
         "slice_ns",
         "admin_slice_ns",
         "paused",
+        "pause_depth",
         "kernel",
         "llc_misses",
         "llc_penalty_ns",
@@ -168,9 +169,13 @@ class VM:
         #: Administrator-specified slice for non-parallel VMs (Algorithm 2's
         #: flexibility interface); ``None`` = use VMM default.
         self.admin_slice_ns: Optional[int] = None
-        #: Fault-injection pause flag (VMM.pause_vm / resume_vm): while set,
-        #: no VCPU of this VM runs and wakes are latched, not delivered.
+        #: Pause flag (VMM.pause_vm / resume_vm): while set, no VCPU of
+        #: this VM runs and wakes are latched, not delivered.  Pauses
+        #: nest (fault injection and migration stop-and-copy can overlap):
+        #: ``pause_depth`` counts the outstanding pause_vm calls and the
+        #: VM only unfreezes when the count returns to zero.
         self.paused = False
+        self.pause_depth = 0
         self.kernel = None  # attached by repro.guest.kernel.GuestKernel
         self.llc_misses = 0
         self.llc_penalty_ns = 0

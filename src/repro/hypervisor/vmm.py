@@ -219,15 +219,21 @@ class VMM:
             self.dispatch(pcpu)
 
     # ------------------------------------------------------------------
-    # Fault injection (repro.faults)
+    # VM freezing (repro.faults pauses, repro.migration stop-and-copy)
     # ------------------------------------------------------------------
     def pause_vm(self, vm: VM, redispatch: bool = True) -> None:
         """Freeze ``vm``: deschedule its running VCPUs, withdraw queued
         ones, and latch any wake that arrives while paused (the guest's
-        pending timers / deliveries replay on resume).  Idempotent.
+        pending timers / deliveries replay on resume).
+
+        Pauses nest: every ``pause_vm`` call must be matched by a
+        ``resume_vm`` before the VM unfreezes, so an overlapping fault
+        pause and migration stop-and-copy cannot double-resume each
+        other's window.
 
         ``redispatch=False`` is used by :meth:`crash`, which frees every
         PCPU at once and must not re-dispatch in between."""
+        vm.pause_depth += 1
         if vm.paused:
             return
         vm.paused = True
@@ -248,9 +254,19 @@ class VMM:
                 self.dispatch(pcpu)
 
     def resume_vm(self, vm: VM) -> None:
-        """Unfreeze ``vm`` and replay latched wakes.  Idempotent."""
+        """Release one pause of ``vm``; unfreeze and replay latched wakes
+        when the last outstanding pause is released.  A resume of an
+        unpaused VM is a no-op."""
         if not vm.paused:
+            vm.pause_depth = 0
             return
+        vm.pause_depth -= 1
+        if vm.pause_depth > 0:
+            return
+        vm.pause_depth = 0
+        self._unfreeze(vm)
+
+    def _unfreeze(self, vm: VM) -> None:
         vm.paused = False
         for vcpu in vm.vcpus:
             if vcpu.wake_pending:
@@ -269,12 +285,16 @@ class VMM:
 
     def restart(self) -> None:
         """Bring a crashed node back: clear the flag, then resume every
-        VM (replaying wakes latched while down).  Idempotent."""
+        VM (replaying wakes latched while down).  A reboot forgets any
+        administrative pause that started before the crash, so the pause
+        depth is force-cleared.  Idempotent."""
         if not self.node.crashed:
             return
         self.node.crashed = False
         for vm in self.vms:
-            self.resume_vm(vm)
+            if vm.paused:
+                vm.pause_depth = 0
+                self._unfreeze(vm)
 
     # ------------------------------------------------------------------
     @property

@@ -30,6 +30,7 @@ __all__ = [
     "vm_registry",
     "node_registry",
     "cluster_registry",
+    "migration_registry",
     "world_registry",
     "vm_stats",
     "node_stats",
@@ -94,17 +95,42 @@ def cluster_registry(cluster: "Cluster") -> MetricsRegistry:
     return reg
 
 
+def migration_registry(engine) -> MetricsRegistry:
+    """Live-migration rollup (repro.migration).  ``downtime_ns`` is the
+    per-VM accumulated stop-and-copy blackout, conserved against the
+    engine's recorded pause intervals."""
+    reg = MetricsRegistry()
+    reg.register("started", lambda: engine.started)
+    reg.register("completed", lambda: engine.completed)
+    reg.register("aborted", lambda: engine.aborted)
+    reg.register("in_flight", lambda: len(engine.active))
+    reg.register("precopy_rounds", lambda: engine.precopy_rounds)
+    reg.register("bytes_copied", lambda: engine.bytes_copied)
+    reg.register(
+        "downtime_total_ns", lambda: sum(engine.downtime_by_vm.values())
+    )
+    reg.register(
+        "downtime_ns",
+        lambda: {k: engine.downtime_by_vm[k] for k in sorted(engine.downtime_by_vm)},
+    )
+    return reg
+
+
 def world_registry(world) -> MetricsRegistry:
     """One registry for a whole :class:`~repro.experiments.harness.CloudWorld`:
-    cluster metrics under ``cluster.``, each node under ``node.<i>.`` and
-    each guest VM under ``vm.<name>.``.  Values are live (callback gauges),
-    so the registry can be built once and snapshotted at any time."""
+    cluster metrics under ``cluster.``, each node under ``node.<i>.``, each
+    guest VM under ``vm.<name>.``, and — when the world has a migration
+    engine — its rollup under ``migration.``.  Values are live (callback
+    gauges), so the registry can be built once and snapshotted at any time."""
     reg = MetricsRegistry()
     reg.merge(cluster_registry(world.cluster), prefix="cluster.")
     for node in world.cluster.nodes:
         reg.merge(node_registry(node), prefix=f"node.{node.index}.")
     for vm in world.vms:
         reg.merge(vm_registry(vm), prefix=f"vm.{vm.name}.")
+    engine = getattr(world, "migration_engine", None)
+    if engine is not None:
+        reg.merge(migration_registry(engine), prefix="migration.")
     return reg
 
 

@@ -38,6 +38,18 @@ Record kinds (``TraceLog.KINDS``):
     duration).
 ``fault.heal``
     The matching recovery: restart, resume, or link restoration.
+``migrate.start``
+    A live migration began: VM, source/destination nodes, and the memory
+    image size the pre-copy phase must move.
+``migrate.round``
+    One pre-copy round finished: bytes sent, bytes the running guest
+    dirtied meanwhile (the residue for the next round), and elapsed time.
+``migrate.downtime``
+    The stop-and-copy window closed: the VM's blackout duration (the
+    pause-to-resume interval, conserved against the engine's accounting).
+``migrate.done``
+    The migration completed (or aborted, with the reason in ``status``):
+    total rounds, bytes, and end-to-end duration.
 
 Activation is scoped: ``with log.activate(): world.run(...)``.  Only one
 log is active at a time per process (sweep workers are separate
@@ -110,6 +122,10 @@ class TraceLog:
         "pkt.hop",
         "fault.inject",
         "fault.heal",
+        "migrate.start",
+        "migrate.round",
+        "migrate.downtime",
+        "migrate.done",
     )
 
     __slots__ = ("capacity", "_buf", "_next", "total", "dropped", "by_kind")

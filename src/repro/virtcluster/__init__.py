@@ -1,6 +1,19 @@
 """Virtual-cluster construction and placement policies."""
 
 from repro.virtcluster.cluster import VirtualCluster
-from repro.virtcluster.placement import pack_placement, spread_placement
+from repro.virtcluster.placement import (
+    PLACEMENTS,
+    pack_placement,
+    place,
+    placement_names,
+    spread_placement,
+)
 
-__all__ = ["VirtualCluster", "pack_placement", "spread_placement"]
+__all__ = [
+    "VirtualCluster",
+    "PLACEMENTS",
+    "place",
+    "placement_names",
+    "pack_placement",
+    "spread_placement",
+]

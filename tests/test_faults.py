@@ -121,6 +121,44 @@ def test_pause_latches_wake_and_resume_replays(single_node):
     assert vcpu.total_run_ns >= 5 * MSEC
 
 
+def test_nested_pauses_hold_until_the_last_release(single_node):
+    sim, cluster, vmm = single_node
+    vm = add_guest_vm(vmm)
+    vmm.pause_vm(vm)
+    vmm.pause_vm(vm)  # second window (overlapping fault, or a migration)
+    assert vm.paused and vm.pause_depth == 2
+    vmm.resume_vm(vm)
+    assert vm.paused and vm.pause_depth == 1  # still one window open
+    vmm.resume_vm(vm)
+    assert not vm.paused and vm.pause_depth == 0
+    vmm.resume_vm(vm)  # extra resume is a no-op, not an underflow
+    assert not vm.paused and vm.pause_depth == 0
+
+
+def test_restart_force_clears_pause_depth(single_node):
+    sim, cluster, vmm = single_node
+    vm = add_guest_vm(vmm)
+    vmm.pause_vm(vm)
+    vmm.pause_vm(vm)
+    vmm.crash()
+    vmm.restart()  # a reboot forgets pre-crash administrative pauses
+    assert not vm.paused and vm.pause_depth == 0
+
+
+def test_overlapping_vm_pause_faults_heal_at_the_last():
+    plan = FaultPlan.of([
+        FaultEvent("vm_pause", at_ns=1 * MSEC, node=0, duration_ns=10 * MSEC),
+        FaultEvent("vm_pause", at_ns=2 * MSEC, node=0, duration_ns=2 * MSEC),
+    ])
+    w = CloudWorld(WorldConfig(n_nodes=2, faults=plan))
+    vm = w.new_vm(name="g0", node_idx=0)
+    w.run(horizon_ns=6 * MSEC)
+    assert vm.paused and vm.pause_depth == 1  # inner healed at t=4ms
+    w.run(horizon_ns=10 * MSEC)
+    assert not vm.paused and vm.pause_depth == 0  # outer healed at t=11ms
+    assert w.fault_injector.stats["healed"] == {"vm_pause": 2}
+
+
 def test_crash_quiesces_and_restart_recovers(single_node):
     sim, cluster, vmm = single_node
     from repro.hypervisor.vm import VM

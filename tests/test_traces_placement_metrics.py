@@ -8,7 +8,13 @@ from hypothesis import given, settings, strategies as st
 from repro.metrics.summary import geomean, mean, normalize_map, normalized, pearson
 from repro.sim.rng import SimRNG
 from repro.virtcluster.cluster import VirtualCluster
-from repro.virtcluster.placement import pack_placement, spread_placement
+from repro.virtcluster.placement import (
+    PLACEMENTS,
+    pack_placement,
+    place,
+    placement_names,
+    spread_placement,
+)
 from repro.workloads.traces import ATLAS_TABLE1, paper_vc_mix, synthesize_vc_mix
 
 
@@ -98,6 +104,67 @@ def test_pack_fills_in_order():
 def test_pack_capacity_error():
     with pytest.raises(RuntimeError):
         pack_placement(9, [0, 0], 4)
+
+
+def test_place_is_pure_and_returns_new_loads():
+    loads = [1, 0, 2]
+    assignment, new_loads = place("spread", 2, loads, 4)
+    assert assignment == [1, 0]
+    assert new_loads == [2, 1, 2]
+    assert loads == [1, 0, 2]  # inputs untouched
+
+
+def test_wrappers_still_mutate_in_place():
+    load = [0, 0]
+    assert pack_placement(3, load, 4) == [0, 0, 0]
+    assert load == [3, 0]
+
+
+def test_striped_walks_cyclically_from_load_offset():
+    assert place("striped", 4, [0, 0, 0], 2)[0] == [0, 1, 2, 0]
+    # Total load 2 -> the walk starts at node 2 and wraps.
+    assert place("striped", 3, [1, 1, 0], 2)[0] == [2, 0, 1]
+    # Full nodes are skipped, not errors, until everything is full.
+    assert place("striped", 2, [2, 0, 0], 2)[0] == [2, 1]
+    with pytest.raises(RuntimeError):
+        place("striped", 1, [2, 2], 2)
+
+
+def test_random_placement_is_reproducible_per_spec():
+    a, _ = place("random:7", 6, [0, 0, 0], 4)
+    b, _ = place("random:7", 6, [0, 0, 0], 4)
+    assert a == b
+    assert set(a) <= {0, 1, 2}
+    c, _ = place("random:8", 6, [0, 0, 0], 4)
+    assert a != c  # different seed, different draw (overwhelmingly)
+    with pytest.raises(RuntimeError):
+        place("random:7", 9, [0, 0], 4)
+
+
+def test_unknown_policy_and_bad_random_spec_raise():
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        place("bogus", 1, [0], 4)
+    with pytest.raises(ValueError, match="random:SEED"):
+        place("random:x", 1, [0], 4)
+    assert placement_names() == [*PLACEMENTS, "random:SEED"]
+
+
+def test_capacity_error_names_the_cluster():
+    with pytest.raises(RuntimeError, match="cluster 'vc3' out of VM capacity"):
+        place("spread", 5, [4, 4], 4, cluster="vc3")
+
+
+@pytest.mark.parametrize("policy", ["spread", "pack", "striped", "random:3"])
+def test_equal_load_ties_are_deterministic(policy):
+    # On freshly equal loads every policy resolves ties the same way on
+    # every call: placement is a pure function of (policy, loads, cap).
+    first, _ = place(policy, 4, [0, 0, 0, 0], 4)
+    again, _ = place(policy, 4, [0, 0, 0, 0], 4)
+    assert first == again
+    # The deterministic tie-break is by node index: the first VM of the
+    # non-random policies always lands on node 0.
+    if not policy.startswith("random:"):
+        assert first[0] == 0
 
 
 @settings(max_examples=30)
