@@ -4,8 +4,11 @@ Every benchmark regenerates one table or figure of the paper (see
 DESIGN.md §4).  Default configurations are scaled down — fewer nodes,
 shorter horizons — but preserve the paper's over-commitment ratio
 (4 VMs x 8 VCPUs per 8-core node) and communication structure, so the
-normalized-execution-time *shapes* match.  Set ``REPRO_FULL=1`` for
-paper-scale sweeps (slow: hours).
+normalized-execution-time *shapes* match.  Set ``REPRO_FULL=1`` — or
+pass ``--full-scale`` to pytest (the conftest maps it onto the same
+environment switch) — for paper-scale sweeps (slow: hours; the
+single-cell Table-I trace benchmark is the exception, sized to finish
+inside a CI smoke job even at full scale).
 
 Grid-shaped benchmarks declare their cells as ``RunSpec`` lists and
 execute them through the shared sweep runner

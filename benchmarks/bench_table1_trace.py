@@ -9,10 +9,11 @@ Table I.
 
 import collections
 
+from repro.experiments.scenarios import run_table1_cell
 from repro.sim.rng import SimRNG
 from repro.workloads.traces import ATLAS_TABLE1, paper_vc_mix, synthesize_vc_mix
 
-from _common import emit, run_once
+from _common import emit, full_scale, run_once
 
 
 def test_table1_paper_mix(benchmark):
@@ -45,3 +46,32 @@ def test_table1_synthesis_follows_distribution(benchmark):
     freq = dict(rows)
     assert freq[16] > freq[256]
     assert freq[64] > freq[32]  # Table I: 12.6% vs 4.5%
+
+
+def test_table1_trace_cell(benchmark):
+    """Simulate one cell of the paper's 256-core (32-node) Table-I
+    platform under ATC — the configuration the fast-path engine work
+    targets.  At ``--full-scale`` the horizon is long enough for every
+    virtual cluster to complete rounds; the default keeps a short slice
+    of the same 1024-VCPU world so the plain benchmark run stays quick.
+    """
+    horizon_s = 2.0 if full_scale() else 0.5
+    r = run_once(benchmark, run_table1_cell, scheduler="ATC", seed=0, horizon_s=horizon_s)
+    assert r["n_nodes"] == 32
+    assert r["n_vms"] == 128
+    assert r["total_vcpus"] == 1024
+    rows = [
+        (vc["vc"], vc["n_vms"], vc["app"], vc["rounds"])
+        for vc in r["vcs"]
+    ]
+    rows.append(("independents (30 VMs)", 30, "lu/is", r["independent_rounds"]))
+    emit(
+        f"Table I — 256-core trace cell, ATC, {horizon_s:.1f} virtual s "
+        f"({r['events']:,} events)",
+        ["virtual cluster", "VMs", "app", "rounds done"],
+        rows,
+        name="table1_trace_cell",
+    )
+    if full_scale():
+        # every VC must have made visible progress at the full horizon
+        assert sum(vc["rounds"] for vc in r["vcs"]) >= 5

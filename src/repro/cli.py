@@ -211,9 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail if events/sec regresses vs this baseline.json")
     sp.add_argument("--tolerance", type=float, default=None,
                     help="allowed fractional regression for --check "
-                    "(default 0.30, or REPRO_PERF_TOLERANCE)")
+                    "(default 0.15, or REPRO_PERF_TOLERANCE)")
     sp.add_argument("--write-baseline", default=None, metavar="PATH",
                     help="record measured events/sec as the new baseline")
+    sp.add_argument("--history", default=None, metavar="JSONL",
+                    help="append one events/sec trend line per run "
+                    "(e.g. benchmarks/perf/history.jsonl)")
+    sp.add_argument("--label", default=None,
+                    help="run label for --history (default: $GITHUB_SHA or 'local')")
 
     sp = sub.add_parser("lint", help="static determinism lint (RPR rules)")
     sp.add_argument("paths", nargs="*", default=["src/repro", "benchmarks", "tests"],
@@ -618,6 +623,8 @@ def _cmd_perf(args) -> int:
         print(f"wrote {p}")
     if args.write_baseline:
         print(f"wrote {perfsuite.write_baseline(results, args.write_baseline)}")
+    if args.history:
+        print(f"appended {perfsuite.append_history(results, args.history, label=args.label)}")
     if args.check:
         failures = perfsuite.check_baseline(results, args.check, tolerance=args.tolerance)
         if failures:

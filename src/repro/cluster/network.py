@@ -91,6 +91,7 @@ class Fabric:
         "_nic_free_at",
         "messages_sent",
         "bytes_sent",
+        "bytes_retransmitted",
         "drop_rng",
         "crashed_of",
         "_degraded",
@@ -105,6 +106,11 @@ class Fabric:
         self._nic_free_at: dict[int, int] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Payload bytes re-serialized on NICs by retransmission attempts.
+        #: Every attempt charges ``_nic_free_at`` (the NIC really sends the
+        #: bytes again), so actual egress is ``wire_bytes_total``, not
+        #: ``bytes_sent`` — the latter counts each message once.
+        self.bytes_retransmitted = 0
         #: Seeded RNG for probabilistic drops; armed by the fault injector.
         #: ``None`` (default) = no drop draws ever happen.
         self.drop_rng: Optional[SimRNG] = None
@@ -139,6 +145,13 @@ class Fabric:
         migration rebalancer's ``evacuate`` policy reads this)."""
         return sorted(self._degraded)
 
+    @property
+    def wire_bytes_total(self) -> int:
+        """Total payload bytes actually serialized on NICs, including
+        every retransmission attempt (consistent with the egress time the
+        fabric charged via ``_nic_free_at``)."""
+        return self.bytes_sent + self.bytes_retransmitted
+
     # ------------------------------------------------------------------
     def transmit(
         self,
@@ -166,6 +179,11 @@ class Fabric:
     ) -> int:
         p = self.params
         tx = p.tx_ns(nbytes)
+        if attempt > 1:
+            # This attempt re-serializes the full message on the source
+            # NIC (charged below via _nic_free_at): account for it, or
+            # wire-byte totals diverge from actual egress under faults.
+            self.bytes_retransmitted += nbytes
         drop_prob = 0.0
         if self._degraded:
             src_deg = self._degraded.get(src_node)
@@ -188,13 +206,15 @@ class Fabric:
             self._schedule_retry(src_node, dst_node, nbytes, deliver_fn, attempt, arrival)
             return arrival
         if self.crashed_of is not None:
-            self.sim.at(
+            self.sim.post_at(
                 arrival,
                 lambda: self._deliver_checked(src_node, dst_node, nbytes, deliver_fn, attempt),
                 cat="net",
             )
         else:
-            self.sim.at(arrival, deliver_fn, cat="net")
+            # Fire-and-forget: deliveries are never cancelled, so skip the
+            # Event handle allocation on the per-message hot path.
+            self.sim.post_at(arrival, deliver_fn, cat="net")
         return arrival
 
     def _deliver_checked(
@@ -233,7 +253,7 @@ class Fabric:
             return
         rto = min(p.retransmit_timeout_ns << (attempt - 1), p.retransmit_cap_ns)
         self.retransmits += 1
-        self.sim.at(
+        self.sim.post_at(
             from_ns + rto,
             lambda: self._attempt(src_node, dst_node, nbytes, deliver_fn, attempt + 1),
             cat="net",

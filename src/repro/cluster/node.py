@@ -75,7 +75,8 @@ class Disk:
         self._free_at = finish
         self.requests += 1
         self.bytes_moved += nbytes
-        self.sim.at(finish, done_fn, cat="disk")
+        # Disk completions are never cancelled: fire-and-forget.
+        self.sim.post_at(finish, done_fn, cat="disk")
         return finish
 
 

@@ -49,6 +49,7 @@ from repro.workloads.traces import synthesize_vc_mix
 
 __all__ = [
     "run_type_a",
+    "run_table1_cell",
     "run_slice_sweep",
     "run_small_mix",
     "run_type_b",
@@ -81,6 +82,7 @@ def _world(
     faults: Optional[Sequence[dict]] = None,
     placement: str = "spread",
     migration: Optional[dict] = None,
+    event_queue: Optional[str] = None,
 ) -> CloudWorld:
     # Fault plans and migration configs travel through scenario params as
     # JSON dicts so they are picklable and fold into the sweep cache key
@@ -89,6 +91,7 @@ def _world(
     return CloudWorld(
         WorldConfig(
             n_nodes=n_nodes,
+            event_queue=event_queue,
             vms_per_node=vms_per_node,
             vcpus_per_vm=vcpus_per_vm,
             scheduler=scheduler,
@@ -144,6 +147,7 @@ def run_type_a(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    event_queue: Optional[str] = None,
 ) -> dict:
     """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
     one VM per node each, all running ``app_name``.
@@ -151,13 +155,16 @@ def run_type_a(
     ``uniform_slice_ms`` forces a static guest slice (CR sweeps and the
     ``repro trace`` CLI); ``trace``/``profile`` attach the observability
     layers and fold their outputs into the result; ``faults`` is a fault
-    plan as dict list (:meth:`repro.faults.plan.FaultPlan.to_dicts`).
+    plan as dict list (:meth:`repro.faults.plan.FaultPlan.to_dicts`);
+    ``event_queue`` selects the simulator queue backend (bit-identical
+    across backends — see :mod:`repro.sim.engine`).
     """
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params,
         vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
+        event_queue=event_queue,
     )
     apps = []
     for k in range(n_vclusters):
@@ -183,6 +190,67 @@ def run_type_a(
         },
         world,
     )
+
+
+def run_table1_cell(
+    scheduler: str = "ATC",
+    seed: int = 0,
+    horizon_s: float = 2.0,
+    n_nodes: int = 32,
+    sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
+    profile: bool = False,
+    event_queue: Optional[str] = None,
+) -> dict:
+    """One full-scale Table-I trace cell: the paper's exact 32-node /
+    256-core evaluation-type-B platform (Section IV-B2).
+
+    Uses :func:`repro.workloads.traces.paper_vc_mix` — one 256-VCPU
+    virtual cluster, two 128s, three 64s, one 32 and three 16s (90 VMs)
+    plus 30 independent 8-VCPU VMs: 128 VMs on 32 nodes, 4 VMs/node.
+    This is the cell the perf work targets: it only fits a CI smoke job
+    because the engine overhead per event is low enough.  ``horizon_s``
+    bounds the simulated time (CI smoke uses a short horizon; REPRO_FULL
+    benchmarks run it long enough for every VC to finish rounds).
+    """
+    from repro.workloads.traces import paper_vc_mix
+
+    mix = paper_vc_mix()
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=mix.vcpus_per_vm, vms_per_node=4, sanitize=sanitize,
+        profile=profile, event_queue=event_queue,
+    )
+    rng = world.rng.substream(999)
+    vc_apps = []
+    for i, size in enumerate(mix.cluster_sizes_vms):
+        vc = world.virtual_cluster(n_vms=size, name=f"VC{i + 1}")
+        app_name = rng.choice(NPB_NAMES)
+        vc_apps.append((vc, world.add_npb(app_name, vc.vms, rounds=None, warmup_rounds=1)))
+    indep_apps = []
+    for j in range(mix.independent_vms):
+        vm = world.new_vm(name=f"ind{j}")
+        indep_apps.append(world.add_npb(rng.choice(["lu", "is"]), [vm], rounds=None, warmup_rounds=1))
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return _attach_obs({
+        "scheduler": scheduler,
+        "n_nodes": n_nodes,
+        "n_vms": len(world.vms),
+        "total_vcpus": sum(len(vm.vcpus) for vm in world.vms),
+        "vcs": [
+            {
+                "vc": vc.name,
+                "n_vms": vc.n_vms,
+                "app": app.spec.name,
+                "mean_round_ns": app.mean_round_ns,
+                "rounds": len(app.round_times),
+            }
+            for vc, app in vc_apps
+        ],
+        "independent_rounds": sum(len(a.round_times) for a in indep_apps),
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }, world)
 
 
 def run_slice_sweep(

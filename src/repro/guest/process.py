@@ -67,6 +67,10 @@ __all__ = [
 
 Segment = tuple
 
+#: Max consecutive ``compute`` segments coalesced into one timer (bounds
+#: how far ahead of the clock a program generator body is executed).
+COMPUTE_BATCH_MAX = 1024
+
 
 # ----------------------------------------------------------------------
 # Segment constructors (the program-author API)
@@ -131,6 +135,7 @@ class GuestProcess:
         "on_done",
         "done",
         "_program",
+        "_pushback",
         "state",
         "_remaining",
         "_work_started",
@@ -168,6 +173,7 @@ class GuestProcess:
         self.on_done: Optional[Callable[["GuestProcess"], None]] = None
         self.done = False
         self._program: Optional[Iterator[Segment]] = None
+        self._pushback: Optional[Segment] = None
         self.state = "init"
         self._remaining = 0
         self._work_started = 0
@@ -197,6 +203,7 @@ class GuestProcess:
         if self.state not in ("init", "done"):
             raise RuntimeError(f"{self.name}: load_program while {self.state}")
         self._program = program
+        self._pushback = None
         self.done = False
         self.state = "ready"
 
@@ -372,15 +379,40 @@ class GuestProcess:
     def _advance(self) -> None:
         while True:
             self.state = "ready"
-            try:
-                seg = next(self._program)
-            except StopIteration:
-                self._finish()
-                return
+            if self._pushback is not None:
+                seg = self._pushback
+                self._pushback = None
+            else:
+                try:
+                    seg = next(self._program)
+                except StopIteration:
+                    self._finish()
+                    return
             k = seg[0]
             if k == "compute":
+                # Coalesce consecutive compute segments into one timer: the
+                # interpreter would otherwise burn one event per segment
+                # with nothing observable happening at the seams (zero
+                # simulated time elapses between back-to-back computes).
+                # The first non-compute segment pulled ahead is pushed back
+                # and interpreted after the batched work completes, so
+                # ``call``/``send``/... stay exact batching boundaries.
+                total = seg[1]
+                batched = 1
+                prog = self._program
+                while batched < COMPUTE_BATCH_MAX:
+                    try:
+                        nxt = next(prog)
+                    except StopIteration:
+                        break
+                    if nxt[0] == "compute":
+                        total += nxt[1]
+                        batched += 1
+                    else:
+                        self._pushback = nxt
+                        break
                 self.state = "compute"
-                self._begin_work(seg[1])
+                self._begin_work(total)
                 return
             if k == "call":
                 seg[1](self.sim.now)
@@ -432,7 +464,8 @@ class GuestProcess:
                 self.state = "sleep"
                 ns = seg[1]
                 self.vcpu.block()
-                self.sim.after(ns, self._sleep_done, cat="guest")
+                # Sleep timers are never cancelled: fire-and-forget.
+                self.sim.post_after(ns, self._sleep_done, cat="guest")
                 return
             if k == "disk":
                 self.state = "disk"

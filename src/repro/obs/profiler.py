@@ -65,9 +65,15 @@ class SimProfiler:
         sim.profiler = self
 
     # ------------------------------------------------------------------
-    def run_event(self, cat: Optional[str], fn: Callable[[], None]) -> None:
-        """Execute one event callback under timing (called by the engine)."""
-        depth = len(self.sim._heap)
+    def run_event(self, cat: Optional[str], fn: Callable[[], None], depth: int) -> None:
+        """Execute one event callback under timing (called by the engine).
+
+        ``depth`` is the queue depth *including* the event being run (the
+        engine passes ``len(queue) + 1`` before the callback schedules
+        successors).  Sampling after the pop — as an earlier version did —
+        systematically under-reported the true peak by one plus however
+        many successors the deepest event scheduled.
+        """
         if depth > self.max_heap_depth:
             self.max_heap_depth = depth
         t0 = self._clock()

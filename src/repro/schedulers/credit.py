@@ -66,6 +66,11 @@ class CreditScheduler(Scheduler):
     def __init__(self, vmm: "VMM", params: CreditParams | None = None) -> None:
         super().__init__(vmm, params or CreditParams())
         self.runqs: list[deque] = [deque() for _ in vmm.node.pcpus]
+        #: Pending deferred tickle per PCPU index:
+        #: ``(running_vcpu, run_start_ns, fire_ns, event)``.  Lets repeated
+        #: wakes against the same dispatch coalesce into one queued
+        #: ``_ratelimit_fire`` instead of piling a dead tickle per wake.
+        self._pending_tickles: dict[int, tuple] = {}
         # Introspection counters (analysis/debugging; no behavioural role).
         self.stat_wake_preemptions = 0
         self.stat_deferred_tickles = 0
@@ -135,14 +140,9 @@ class CreditScheduler(Scheduler):
                 self.stat_wake_preemptions += 1
                 self.vmm.preempt(pcpu)
             else:
-                self.stat_deferred_tickles += 1
                 # Xen sched_ratelimit: defer the tickle until the current
                 # VCPU has had its minimum run.
-                self.vmm.sim.at(
-                    start + self.params.ratelimit_ns,
-                    lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
-                    cat="sched.tickle",
-                )
+                self._defer_tickle(pcpu, cur, start, start + self.params.ratelimit_ns)
         elif (
             running_prio == PRIO_BOOST
             and vcpu.prio < self._credit_prio(cur)
@@ -152,14 +152,45 @@ class CreditScheduler(Scheduler):
             # member) — but only until the next global tick: re-evaluate
             # the tickle then.  This is the second deferral path, counted
             # like the ratelimit one.
-            self.stat_deferred_tickles += 1
             tick = self.params.tick_ns
             next_tick = (now // tick + 1) * tick
-            self.vmm.sim.at(
-                max(next_tick, start + self.params.ratelimit_ns),
-                lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
-                cat="sched.tickle",
+            self._defer_tickle(
+                pcpu, cur, start, max(next_tick, start + self.params.ratelimit_ns)
             )
+
+    def _defer_tickle(
+        self, pcpu: "PCPU", cur: "VCPU", start: int, fire_at: int
+    ) -> None:
+        """Schedule (or coalesce into) the pending deferred tickle for this
+        dispatch.
+
+        Only one ``_ratelimit_fire`` is kept queued per (PCPU, dispatch):
+        a second deferred wake against the same running VCPU rides the
+        already-scheduled tickle instead of adding a dead heap entry, and
+        ``stat_deferred_tickles`` counts the deferral once.  If the new
+        wake needs an *earlier* re-check (ratelimit expiry before a
+        previously scheduled tick re-check), the pending tickle is
+        cancelled and replaced — never delayed.
+        """
+        pend = self._pending_tickles.get(pcpu.index)
+        if pend is not None and pend[0] is cur and pend[1] == start:
+            if pend[2] <= fire_at:
+                return  # already covered by an earlier (or equal) re-check
+            pend[3].cancel()  # replace with the earlier fire time
+            self._schedule_tickle(pcpu, cur, start, fire_at)
+            return
+        self.stat_deferred_tickles += 1
+        self._schedule_tickle(pcpu, cur, start, fire_at)
+
+    def _schedule_tickle(
+        self, pcpu: "PCPU", cur: "VCPU", start: int, fire_at: int
+    ) -> None:
+        ev = self.vmm.sim.at(
+            fire_at,
+            lambda p=pcpu, c=cur, s=start: self._ratelimit_fire(p, c, s),
+            cat="sched.tickle",
+        )
+        self._pending_tickles[pcpu.index] = (cur, start, fire_at, ev)
 
     def _may_preempt(self, vcpu: "VCPU", pcpu: "PCPU") -> bool:
         """Policy hook: may a waking ``vcpu`` preempt ``pcpu``'s current?
@@ -184,12 +215,27 @@ class CreditScheduler(Scheduler):
     def _ratelimit_fire(self, pcpu: "PCPU", expected: "VCPU", run_start: int) -> None:
         """Deferred wake preemption: still valid only if the same dispatch
         is in place and a higher-priority VCPU is actually waiting."""
+        pend = self._pending_tickles.get(pcpu.index)
+        if pend is not None and pend[0] is expected and pend[1] == run_start:
+            del self._pending_tickles[pcpu.index]
         cur = pcpu.current
         if cur is not expected or pcpu.run_start_ns != run_start:
             return
         best = min((v.prio for v in self.runqs[pcpu.index]), default=None)
-        if best is not None and best < self._running_prio(pcpu) and self._may_preempt_queued(pcpu):
+        if best is None or not self._may_preempt_queued(pcpu):
+            return
+        running = self._running_prio(pcpu)
+        if best < running:
             self.vmm.preempt(pcpu)
+        elif running == PRIO_BOOST and best < self._credit_prio(cur):
+            # Still inside the runner's transient BOOST protection: re-arm
+            # at the deboost tick rather than dropping the wake on the
+            # floor.  The re-armed fire sees the deboosted priority (the
+            # tick boundary is strictly past the dispatch tick), so this
+            # re-arms at most once per dispatch — no unbounded loop.
+            tick = self.params.tick_ns
+            next_tick = (self.vmm.sim.now // tick + 1) * tick
+            self._schedule_tickle(pcpu, expected, run_start, next_tick)
 
     def _may_preempt_queued(self, pcpu: "PCPU") -> bool:
         return self._may_preempt(None, pcpu)

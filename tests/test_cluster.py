@@ -212,6 +212,36 @@ def test_certain_loss_gives_up_after_max_retransmits():
     assert fab.messages_dropped == 4  # initial attempt + 3 retransmits
 
 
+def test_retransmit_bytes_accounted_separately():
+    """Regression: every retransmission attempt re-charges the source NIC
+    (``_nic_free_at``), but the byte counters only recorded first
+    transmissions — so wire-byte totals diverged from the egress time the
+    fabric actually modelled under faults."""
+    from repro.sim.rng import SimRNG
+
+    sim = Simulator()
+    fab = Fabric(sim, NetworkParams())
+    fab.drop_rng = SimRNG(1).substream(0xFA, 0)
+    fab.degrade_link(0, drop_prob=0.5)
+    for _ in range(20):
+        fab.transmit(0, 1, 1000, lambda: None)
+    sim.run()
+    assert fab.retransmits > 0
+    assert fab.bytes_sent == 20_000  # one count per message, as before
+    assert fab.bytes_retransmitted == fab.retransmits * 1000
+    assert fab.wire_bytes_total == fab.bytes_sent + fab.bytes_retransmitted
+
+
+def test_clean_fabric_wire_bytes_equal_bytes_sent():
+    sim = Simulator()
+    fab = Fabric(sim)
+    fab.transmit(0, 1, 500, lambda: None)
+    fab.transmit(1, 0, 700, lambda: None)
+    sim.run()
+    assert fab.bytes_retransmitted == 0
+    assert fab.wire_bytes_total == fab.bytes_sent == 1200
+
+
 def test_crashed_destination_drops_delivery():
     sim = Simulator()
     fab = Fabric(sim, NetworkParams())

@@ -210,7 +210,7 @@ def test_ratelimit_deferral_counts_tickle():
     assert sched.stat_deferred_tickles == before_def + 1
     assert sched.stat_wake_preemptions == before_pre  # not an instant preempt
     assert any(
-        ev.cat == "sched.tickle" and not ev.cancelled for ev in sim._heap
+        ev.cat == "sched.tickle" for ev in sim.live_events()
     ), "deferred tickle must be scheduled"
 
 
@@ -229,8 +229,48 @@ def test_boost_protection_deferral_counts_tickle():
     assert sched.stat_deferred_tickles == before_def + 1
     assert sched.stat_wake_preemptions == before_pre
     assert any(
-        ev.cat == "sched.tickle" and not ev.cancelled for ev in sim._heap
+        ev.cat == "sched.tickle" for ev in sim.live_events()
     ), "deferred tickle must be scheduled"
+
+
+def test_repeated_wakes_coalesce_into_one_tickle():
+    """Regression: every deferred wake against the same dispatch used to
+    schedule a fresh ``_ratelimit_fire`` and bump ``stat_deferred_tickles``,
+    inflating the event queue with dead tickles and double-counting the
+    deferral.  Now they coalesce into the single pending tickle."""
+    sim, vmm, hog, lat = _contended_pair()
+    sched = vmm.scheduler
+    cur = hog.vcpus[0]
+    cur.prio = PRIO_UNDER
+    before_def = sched.stat_deferred_tickles
+    lat.vcpus[0].wake()
+    extra = add_guest_vm(vmm, 2, name="extra")
+    for v in extra.vcpus:
+        v.credit = 1000.0
+        v.wake()  # same dispatch, same (or later) re-check time
+    assert sched.stat_deferred_tickles == before_def + 1
+    tickles = [ev for ev in sim.live_events() if ev.cat == "sched.tickle"]
+    assert len(tickles) == 1, "wakes against one dispatch share one tickle"
+
+
+def test_earlier_recheck_replaces_pending_tickle():
+    """A ratelimit-path wake needing an earlier fire than a pending
+    tick-boundary re-check replaces (not delays) the queued tickle."""
+    sim, vmm, hog, lat = _contended_pair()
+    sched = vmm.scheduler
+    cur = hog.vcpus[0]
+    cur.prio = PRIO_BOOST  # path 2 first: re-check at the next tick
+    cur.credit = -1000.0
+    lat.vcpus[0].wake()
+    (t1,) = [ev for ev in sim.live_events() if ev.cat == "sched.tickle"]
+    cur.prio = PRIO_UNDER  # now a path-1 wake wants the ratelimit expiry
+    extra = add_guest_vm(vmm, 1, name="extra")
+    extra.vcpus[0].credit = 1000.0
+    extra.vcpus[0].wake()
+    live = [ev for ev in sim.live_events() if ev.cat == "sched.tickle"]
+    assert len(live) == 1
+    assert live[0].time < t1.time, "replacement must fire earlier"
+    assert sched.stat_deferred_tickles >= 1
 
 
 def test_scheduler_statistics_counters():
