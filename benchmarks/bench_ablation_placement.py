@@ -1,4 +1,4 @@
-"""Ablation: virtual-cluster placement (spread vs pack).
+"""Ablation: virtual-cluster placement (spread / pack / striped / random).
 
 The paper's setups spread every virtual cluster across physical nodes, so
 cross-VM synchronization rides the Fig. 4 network path with its four
@@ -6,6 +6,12 @@ scheduling-wait overhead sources.  Packing a cluster onto one node keeps
 the synchronization on the dom0 loopback (still scheduled, but no wire
 and a single host's queues) — quantifying how much of CR's degradation
 is the *cross-host* component, and how much ATC still helps intra-host.
+
+The full placement registry is exercised: ``striped`` round-robins VMs
+over nodes by global index (clusters interleave instead of aligning) and
+``random:SEED`` draws placements from a seeded RNG — both land between
+the spread/pack extremes, and the seed makes the "random" cell exactly
+reproducible.
 """
 
 import pytest
@@ -15,6 +21,8 @@ from repro.metrics.summary import mean
 from repro.sim.units import SEC
 
 from _common import emit, run_once
+
+PLACEMENTS = ("spread", "pack", "striped", "random:11")
 
 RESULTS: dict[tuple, float] = {}
 
@@ -30,7 +38,7 @@ def run_placement(scheduler: str, placement: str) -> float:
     return mean([t for a in apps for t in a.round_times])
 
 
-@pytest.mark.parametrize("placement", ["spread", "pack"])
+@pytest.mark.parametrize("placement", PLACEMENTS)
 @pytest.mark.parametrize("sched", ["CR", "ATC"])
 def test_placement_cell(benchmark, sched, placement):
     RESULTS[(sched, placement)] = run_once(benchmark, run_placement, sched, placement)
@@ -42,7 +50,7 @@ def test_placement_report(benchmark):
         rows = [
             (f"{s} / {p}", RESULTS[(s, p)] / base)
             for s in ("CR", "ATC")
-            for p in ("spread", "pack")
+            for p in PLACEMENTS
         ]
         emit(
             "Ablation — lu round time by scheduler x placement (vs CR/spread)",
@@ -52,6 +60,6 @@ def test_placement_report(benchmark):
         return {r[0]: r[1] for r in rows}
 
     rows = run_once(benchmark, report)
-    # ATC helps under both placements
-    assert rows["ATC / spread"] < rows["CR / spread"]
-    assert rows["ATC / pack"] < rows["CR / pack"]
+    # ATC helps under every placement in the registry
+    for p in PLACEMENTS:
+        assert rows[f"ATC / {p}"] < rows[f"CR / {p}"]

@@ -1,0 +1,337 @@
+"""Interprocedural AST effect analysis for event callbacks.
+
+The static half of the order-dependence detector
+(:mod:`repro.analysis.races` is the dynamic half): for every function,
+method, and lambda in a module this computes a conservative summary of
+the attribute state it touches —
+
+* ``writes`` — attribute names the callable stores to (``obj.x = v``,
+  ``obj.x += v``, ``del obj.x``) plus names it mutates through known
+  container mutators (``obj.xs.append(v)`` writes ``xs``; ``xs.append``
+  on a bare name writes ``xs``),
+* ``reads`` — attribute names it loads,
+* ``captures`` — free variable names a closure reads from an enclosing
+  scope (the RPR041 signal: captured mutable state shared with a
+  sibling callback).
+
+Summaries are *interprocedural to a fixed point within one module*:
+calls to ``self.method(...)``, to module-level functions, and to sibling
+nested functions fold the callee's reads/writes into the caller.  Calls
+that cannot be resolved (other modules, dynamic dispatch) contribute
+nothing — the analysis under-approximates across module boundaries and
+over-approximates attribute aliasing (two different objects with an
+attribute of the same name collide).  Both choices are deliberate: the
+consumer rules (RPR040/RPR041 in :mod:`repro.analysis.rules.hooks`)
+compare summaries of callbacks registered *in the same scope*, where
+name collisions usually are the same object, and a missed effect only
+costs a missed warning, never a false crash.
+
+Attribute granularity is the attribute *name*, not an object path:
+``vcpu.state`` and ``other.state`` both summarize as ``state``.  The
+dynamic layer (SAN008) is instance-precise; the static layer trades
+precision for zero-setup whole-tree coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = ["MUTATOR_METHODS", "EffectSummary", "ModuleEffects"]
+
+#: Method names treated as in-place mutations of their receiver.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+_FUNC_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_BUILTINS = frozenset(dir(builtins))
+
+
+@dataclass
+class EffectSummary:
+    """Effect summary of one callable (post fixed-point propagation)."""
+
+    name: str
+    reads: set = field(default_factory=set)
+    writes: set = field(default_factory=set)
+    captures: set = field(default_factory=set)
+    #: Resolved same-module callee keys (internal, pre-propagation).
+    calls: set = field(default_factory=set)
+
+    def overlap(self, other: "EffectSummary") -> tuple[set, set]:
+        """(write∩write, read∩write ∪ write∩read) attribute names."""
+        ww = self.writes & other.writes
+        rw = (self.reads & other.writes) | (other.reads & self.writes)
+        return ww, rw
+
+
+class _LocalCollector(ast.NodeVisitor):
+    """Names bound inside one function body (params, assignments,
+    imports, comprehension targets, nested def/class names)."""
+
+    def __init__(self) -> None:
+        self.bound: set = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # separate scope
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.bound.add(alias.asname or alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            self.bound.add(alias.asname or alias.name)
+
+
+def _params_of(fn: _FuncNode) -> set:
+    args = fn.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Collect one function's own effects, not descending into nested
+    function bodies (those get their own summaries; defining a closure
+    is not executing it)."""
+
+    def __init__(self, summary: EffectSummary, owner_class: Optional[str]) -> None:
+        self.summary = summary
+        self.owner_class = owner_class
+        self._root: Optional[ast.AST] = None
+
+    def collect(self, fn: _FuncNode) -> None:
+        self._root = fn
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        for stmt in body:
+            self.visit(stmt)
+
+    # -- scope boundary ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- effects -------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.summary.writes.add(node.attr)
+        else:
+            self.summary.reads.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Attribute):
+            # `obj.x += v` both reads and writes x; the Store ctx visit
+            # only records the write.
+            self.summary.reads.add(node.target.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATOR_METHODS:
+                recv = func.value
+                if isinstance(recv, ast.Attribute):
+                    self.summary.writes.add(recv.attr)
+                elif isinstance(recv, ast.Name):
+                    self.summary.writes.add(recv.id)
+            # self.method(...) -> same-class callee
+            if (
+                self.owner_class
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                self.summary.calls.add(f"{self.owner_class}.{func.attr}")
+        elif isinstance(func, ast.Name):
+            self.summary.calls.add(func.id)
+        self.generic_visit(node)
+
+
+class ModuleEffects:
+    """Effect summaries for every callable in one parsed module.
+
+    Summaries are keyed by a dotted qualname-like path (``f``,
+    ``Class.method``, ``Class.method.<lambda>``) and by AST node
+    identity; :meth:`resolve_callback` maps a callback *expression* at a
+    registration site (``self._tick``, a bare function name, an inline
+    lambda) to its summary.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.by_key: dict[str, EffectSummary] = {}
+        self.by_node: dict[int, EffectSummary] = {}
+        self._module_names: set = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self._module_names.add(stmt.name)
+        self._collect(tree.body, prefix="", owner_class=None)
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    def _collect(self, body, prefix: str, owner_class: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._summarize(node, prefix, owner_class, name=node.name)
+            elif isinstance(node, ast.ClassDef):
+                cls_prefix = f"{prefix}{node.name}."
+                self._collect(node.body, prefix=cls_prefix, owner_class=node.name)
+
+    def _summarize(
+        self,
+        fn: _FuncNode,
+        prefix: str,
+        owner_class: Optional[str],
+        name: str,
+    ) -> EffectSummary:
+        key = f"{prefix}{name}"
+        summary = EffectSummary(name=key)
+        visitor = _EffectVisitor(summary, owner_class)
+        visitor.collect(fn)
+        self._captures(fn, summary)
+        self.by_key[key] = summary
+        self.by_node[id(fn)] = summary  # repro: ignore[RPR010] -- AST-node identity within one parse
+        # Nested defs and lambdas get their own summaries, prefixed.
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        for inner in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if isinstance(inner, _FUNC_TYPES) and id(inner) not in self.by_node:  # repro: ignore[RPR010] -- AST-node identity within one parse
+                if self._directly_inside(inner, body):
+                    inner_name = getattr(inner, "name", "<lambda>")
+                    self._summarize(
+                        inner, f"{key}.", owner_class, name=inner_name
+                    )
+        return summary
+
+    @staticmethod
+    def _directly_inside(target: ast.AST, body) -> bool:
+        """True if ``target`` is not nested inside another callable that
+        is itself inside ``body`` (those are summarized recursively)."""
+        for stmt in body:
+            stack = [stmt]
+            while stack:
+                cur = stack.pop()
+                if cur is target:
+                    return True
+                if cur is not stmt and isinstance(cur, _FUNC_TYPES):
+                    continue  # deeper scope: handled by its own pass
+                stack.extend(ast.iter_child_nodes(cur))
+        return False
+
+    def _captures(self, fn: _FuncNode, summary: EffectSummary) -> None:
+        local = _LocalCollector()
+        body = fn.body if isinstance(fn.body, list) else [fn.body]
+        for stmt in body:
+            local.visit(stmt)
+        bound = local.bound | _params_of(fn)
+        for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                name = node.id
+                if (
+                    name not in bound
+                    and name not in self._module_names
+                    and name not in _BUILTINS
+                    and name != "self"
+                ):
+                    summary.captures.add(name)
+
+    def _propagate(self) -> None:
+        """Fold resolved same-module callee effects into callers until a
+        fixed point (handles call chains and recursion)."""
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.by_key.values():
+                for callee_key in summary.calls:
+                    callee = self.by_key.get(callee_key)
+                    if callee is None:
+                        continue
+                    if not (callee.reads <= summary.reads):
+                        summary.reads |= callee.reads
+                        changed = True
+                    if not (callee.writes <= summary.writes):
+                        summary.writes |= callee.writes
+                        changed = True
+
+    # ------------------------------------------------------------------
+    def resolve_callback(
+        self, expr: ast.AST, owner_class: Optional[str] = None
+    ) -> Optional[EffectSummary]:
+        """Summary for a callback expression at a registration site.
+
+        Handles inline lambdas (by node identity), ``self._method``
+        (resolved against ``owner_class``), bare names of module-level
+        or nested functions, and ``functools.partial(f, ...)`` /
+        ``partial(f, ...)`` wrappers (summary of ``f``).
+        """
+        if isinstance(expr, ast.Lambda):
+            return self.by_node.get(id(expr))  # repro: ignore[RPR010] -- AST-node identity within one parse
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and owner_class
+        ):
+            return self.by_key.get(f"{owner_class}.{expr.attr}")
+        if isinstance(expr, ast.Name):
+            # Innermost match wins: a nested function shadows a
+            # module-level one of the same name.
+            candidates = [
+                s for k, s in self.by_key.items()
+                if k == expr.id or k.endswith(f".{expr.id}")
+            ]
+            if candidates:
+                return max(candidates, key=lambda s: s.name.count("."))
+            return None
+        if isinstance(expr, ast.Call):
+            target = expr.func
+            is_partial = (
+                isinstance(target, ast.Name) and target.id == "partial"
+            ) or (
+                isinstance(target, ast.Attribute) and target.attr == "partial"
+            )
+            if is_partial and expr.args:
+                return self.resolve_callback(expr.args[0], owner_class)
+        return None

@@ -2,13 +2,14 @@
 
 Retired codes are never reused; new rules take the next free number in
 their family (entropy RPR00x, ordering RPR01x, units RPR02x, exception
-hygiene RPR03x).
+hygiene RPR03x, same-timestamp hooks RPR04x).
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules.entropy import EntropyCallRule, UnseededRngRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedExceptionRule
+from repro.analysis.rules.hooks import ClosureCaptureRaceRule, SameTimeWriteOverlapRule
 from repro.analysis.rules.ordering import IdOrderingRule, SetIterationRule, SetPopRule
 from repro.analysis.rules.timeliterals import RawTimeLiteralRule
 
@@ -24,4 +25,6 @@ ALL_RULES = (
     RawTimeLiteralRule(),
     BareExceptRule(),
     SwallowedExceptionRule(),
+    SameTimeWriteOverlapRule(),
+    ClosureCaptureRaceRule(),
 )

@@ -1,0 +1,198 @@
+"""Rule family RPR04x: same-timestamp hook/callback order dependence.
+
+The engine executes same-timestamp events in insertion (``seq``) order —
+an order nothing in the model specifies (see
+:mod:`repro.analysis.races`).  Two callbacks registered for the *same*
+instant whose effect summaries (:mod:`repro.analysis.effects`) do not
+commute are therefore a latent race: the registration order silently
+decides the result.
+
+Both rules group registrations *within one function scope* — the only
+place the static analysis can prove two callbacks target the same
+instant:
+
+* two appends to the same ``X.period_hooks`` list (period hooks all run
+  at the period boundary), or
+* two ``sim.at/after/post_at/post_after`` calls whose time argument has
+  the identical expression AST.
+
+Cross-module registrations (e.g. the ATC controller and the sanitizer
+each appending one period hook from different files) are out of static
+reach; the dynamic layer (SAN008 + the tie-permutation differential)
+covers those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.effects import EffectSummary, ModuleEffects
+from repro.analysis.lint import FileContext, Finding, Rule
+from repro.analysis.rules.common import dotted_name
+
+__all__ = ["SameTimeWriteOverlapRule", "ClosureCaptureRaceRule"]
+
+#: Scheduling methods whose first argument is the time/delay expression.
+_SCHEDULE_METHODS = frozenset({"at", "after", "post_at", "post_after"})
+
+
+class _Registration:
+    """One callback registration site inside a function scope."""
+
+    __slots__ = ("node", "callback_expr", "summary", "where")
+
+    def __init__(
+        self,
+        node: ast.Call,
+        callback_expr: ast.AST,
+        summary: Optional[EffectSummary],
+        where: str,
+    ) -> None:
+        self.node = node
+        self.callback_expr = callback_expr
+        self.summary = summary
+        self.where = where
+
+
+def _callback_label(expr: ast.AST, summary: Optional[EffectSummary]) -> str:
+    if summary is not None:
+        return summary.name
+    parts = dotted_name(expr)
+    return ".".join(parts) if parts else ast.unparse(expr)
+
+
+def _iter_scopes(tree: ast.Module):
+    """Yield ``(function_node, owner_class_name)`` for every function."""
+    stack: list[tuple[ast.AST, Optional[str]]] = [(tree, None)]
+    while stack:
+        node, owner = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append((child, child.name))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                stack.append((child, owner))
+            else:
+                stack.append((child, owner))
+
+
+def _collect_groups(
+    fn: ast.AST, owner: Optional[str], effects: ModuleEffects
+) -> dict:
+    """Group same-instant registrations in one function's direct scope.
+
+    Key ``("period", <receiver>)`` groups ``<receiver>.period_hooks
+    .append(cb)`` calls; key ``("at", <receiver>, <method>, <time-ast>)``
+    groups scheduling calls with an identical time expression.
+    """
+    groups: dict = {}
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scope: grouped separately
+        stack.extend(ast.iter_child_nodes(node))
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        func = node.func
+        if (
+            func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "period_hooks"
+            and len(node.args) == 1
+        ):
+            recv = ast.dump(func.value.value)
+            key = ("period", recv)
+            cb = node.args[0]
+            where = "period hook"
+        elif func.attr in _SCHEDULE_METHODS and len(node.args) >= 2:
+            recv = ast.dump(func.value)
+            key = ("at", recv, func.attr, ast.dump(node.args[0]))
+            cb = node.args[1]
+            where = f"{func.attr}({ast.unparse(node.args[0])})"
+        else:
+            continue
+        summary = effects.resolve_callback(cb, owner_class=owner)
+        groups.setdefault(key, []).append(_Registration(node, cb, summary, where))
+    return groups
+
+
+def _pairs(groups: dict):
+    for regs in groups.values():
+        if len(regs) < 2:
+            continue
+        # Registration order == source order == execution order claim.
+        regs = sorted(regs, key=lambda r: (r.node.lineno, r.node.col_offset))
+        for i in range(len(regs)):
+            for j in range(i + 1, len(regs)):
+                a, b = regs[i], regs[j]
+                if ast.dump(a.callback_expr) == ast.dump(b.callback_expr):
+                    continue  # same callback re-registered: not a pair race
+                yield a, b
+
+
+class SameTimeWriteOverlapRule(Rule):
+    """RPR040: same-instant callbacks with non-disjoint write sets."""
+
+    code = "RPR040"
+    summary = (
+        "two callbacks registered for the same instant (shared period-hook "
+        "list or identical schedule time) have overlapping attribute write "
+        "sets; their execution order is unspecified"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        effects = ModuleEffects(tree)
+        for fn, owner in _iter_scopes(tree):
+            for a, b in _pairs(_collect_groups(fn, owner, effects)):
+                if a.summary is None or b.summary is None:
+                    continue
+                ww, rw = a.summary.overlap(b.summary)
+                conflict = ww or rw
+                if not conflict:
+                    continue
+                kind = "write-write" if ww else "read-write"
+                yield ctx.finding(
+                    self.code,
+                    f"callbacks {_callback_label(a.callback_expr, a.summary)!r} "
+                    f"and {_callback_label(b.callback_expr, b.summary)!r} are "
+                    f"both registered for the same instant ({b.where}) with a "
+                    f"{kind} overlap on attribute(s) "
+                    f"{', '.join(sorted(conflict))}; same-timestamp execution "
+                    f"order is unspecified — merge them or order explicitly",
+                    b.node,
+                )
+
+
+class ClosureCaptureRaceRule(Rule):
+    """RPR041: closure capture written by a sibling same-instant callback."""
+
+    code = "RPR041"
+    summary = (
+        "a same-instant sibling callback writes state that this callback "
+        "closure captured; the captured value depends on unspecified "
+        "tie-break order"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        effects = ModuleEffects(tree)
+        for fn, owner in _iter_scopes(tree):
+            for a, b in _pairs(_collect_groups(fn, owner, effects)):
+                if a.summary is None or b.summary is None:
+                    continue
+                for reader, writer in ((a, b), (b, a)):
+                    shared = reader.summary.captures & writer.summary.writes
+                    if not shared:
+                        continue
+                    yield ctx.finding(
+                        self.code,
+                        f"callback "
+                        f"{_callback_label(reader.callback_expr, reader.summary)!r} "
+                        f"captures {', '.join(sorted(shared))!s}, which "
+                        f"same-instant sibling "
+                        f"{_callback_label(writer.callback_expr, writer.summary)!r} "
+                        f"writes; what the closure observes depends on "
+                        f"unspecified tie-break order",
+                        reader.node,
+                    )

@@ -31,6 +31,13 @@ simulations depend on:
   atomically), and the migrating VM must stay fully frozen — paused,
   every VCPU BLOCKED — for the whole stop-and-copy window (the engine
   reports window breaks through :meth:`SimSanitizer.record`).
+* **SAN008 — tie-group commutativity** (opt-in, emitted by
+  :class:`repro.analysis.races.TieRaceTracker` rather than the hooks
+  here): two causally unrelated events at the same timestamp and engine
+  phase whose attribute read/write sets do not commute (W–W or R–W
+  overlap) — the outcome depends on insertion order, which the model
+  never specifies.  Suspects are confirmed (or cleared) by the
+  tie-permutation differential in :mod:`repro.analysis.races`.
 
 Because the hooks only read state, a sanitized run is bit-identical to
 an unsanitized one.  Violations are collected as structured
@@ -107,6 +114,9 @@ class SimSanitizer:
     LATENCY = "SAN005"
     CRASHED = "SAN006"
     MIGRATION = "SAN007"
+    #: Emitted by :class:`repro.analysis.races.TieRaceTracker`, not by the
+    #: hooks below: a non-commuting pair of same-timestamp events.
+    RACE = "SAN008"
 
     def __init__(
         self,

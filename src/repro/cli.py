@@ -13,7 +13,9 @@ Examples::
     python -m repro migrate --policy demix --placement pack
     python -m repro trace --app is --slice 30
     python -m repro perf
-    python -m repro lint src/repro benchmarks tests
+    python -m repro lint src/repro benchmarks tests examples
+    python -m repro races
+    python -m repro races type_a --app lu --scheduler CR --nodes 2
 
 Sweep-shaped commands (``sweep``, ``compare``, ``typea``, ``typeb``,
 ``mix``) execute through :mod:`repro.experiments.runner`: ``--jobs N``
@@ -51,6 +53,14 @@ and optionally gated against ``benchmarks/perf/baseline.json``.
 
 ``lint`` runs the static determinism checker
 (:mod:`repro.analysis.lint`) over the given paths.
+
+``races`` runs the order-dependence detector
+(:mod:`repro.analysis.races`): each cell executes twice — tie_order
+``fifo`` and ``reversed`` — and the result dicts are diffed; any leaf
+difference is a *confirmed* order dependence (exit 1).  The forward run
+also records SAN008 tie-group suspects (heuristic non-commuting
+same-timestamp pairs) unless ``--no-track``.  Without a scenario it
+checks the curated invariant cell list.
 """
 
 from __future__ import annotations
@@ -221,13 +231,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run label for --history (default: $GITHUB_SHA or 'local')")
 
     sp = sub.add_parser("lint", help="static determinism lint (RPR rules)")
-    sp.add_argument("paths", nargs="*", default=["src/repro", "benchmarks", "tests"],
-                    help="files/directories to lint (default: src/repro benchmarks tests)")
+    sp.add_argument("paths", nargs="*",
+                    default=["src/repro", "benchmarks", "tests", "examples"],
+                    help="files/directories to lint "
+                    "(default: src/repro benchmarks tests examples)")
     sp.add_argument("--format", choices=["text", "json"], default="text")
     sp.add_argument("--select", default=None, metavar="CODES",
                     help="comma-separated rule codes to run (default: all)")
     sp.add_argument("--list-rules", action="store_true",
                     help="print the rule catalogue and exit")
+
+    sp = sub.add_parser(
+        "races",
+        help="order-dependence detector: forward/reversed tie-order "
+        "differential + SAN008 tie-group tracking (repro.analysis.races)",
+    )
+    sp.add_argument("scenario", nargs="?", default=None,
+                    help="scenario to check (e.g. type_a); default: the "
+                    "curated invariant cell list")
+    sp.add_argument("--app", default="ep", choices=NPB_EXTENDED)
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--nodes", type=int, default=2)
+    sp.add_argument("--rounds", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--no-track", action="store_true",
+                    help="skip SAN008 attribute tracking; run only the "
+                    "forward/reversed metric differential (faster)")
+    sp.add_argument("--json", metavar="PATH", default=None,
+                    help="write the full report as JSON")
+    sp.add_argument("--suspects", type=int, default=5, metavar="N",
+                    help="distinct SAN008 suspect patterns to print per "
+                    "cell (default 5; 0 silences them)")
     return p
 
 
@@ -286,7 +320,8 @@ def _cmd_list() -> None:
     print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
-          "lint (static determinism checks; --list-rules for codes)")
+          "lint (static determinism checks; --list-rules for codes), "
+          "races (same-timestamp order-dependence detector)")
 
 
 def _parse_faults(args, horizon_s: float) -> Optional[list]:
@@ -643,6 +678,66 @@ def _cmd_lint(args) -> int:
                     list_rules=args.list_rules)
 
 
+def _cmd_races(args) -> int:
+    import json as _json
+
+    from repro.analysis.races import races_report
+
+    if args.scenario is None:
+        cells = None
+    else:
+        params = dict(
+            app_name=args.app, scheduler=args.scheduler, n_nodes=args.nodes,
+            rounds=args.rounds, warmup_rounds=1, seed=args.seed,
+        )
+        cells = [{"scenario": args.scenario, "params": params}]
+    try:
+        report = races_report(cells, track=not args.no_track)
+    except KeyError as exc:
+        print(f"repro races: unknown scenario {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    rows = []
+    for cell in report["cells"]:
+        p = cell["params"]
+        label = ":".join(
+            str(p[k]) for k in ("app_name", "scheduler", "n_nodes") if k in p
+        ) or cell["scenario"]
+        rows.append((
+            f"{cell['scenario']}:{label}",
+            "identical" if cell["identical"] else f"{len(cell['confirmed'])} DIFFS",
+            cell["suspects_total"], len(cell["suspects"]), cell["groups_checked"],
+        ))
+    print(
+        format_table(
+            ["cell", "forward vs reversed", "suspects", "distinct", "tie groups"],
+            rows,
+            title="Order-dependence differential (tie_order fifo vs reversed)",
+        )
+    )
+    for cell in report["cells"]:
+        for d in cell["confirmed"][:20]:
+            print(
+                f"CONFIRMED {cell['scenario']}: {d['path']}: "
+                f"forward={d['forward']} reversed={d['reversed']}",
+                file=sys.stderr,
+            )
+        if args.suspects:
+            for s in cell["suspects"][: args.suspects]:
+                print(f"suspect {s['code']} @t={s['time_ns']}: {s['message']}",
+                      file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if report["clean"]:
+        print("no confirmed order dependence "
+              f"({report['suspects_total']} heuristic suspects recorded)")
+        return 0
+    print(f"{report['confirmed_total']} confirmed order-dependent metric(s)",
+          file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -661,6 +756,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "perf": _cmd_perf,
         "lint": _cmd_lint,
+        "races": _cmd_races,
     }
     return handlers[args.command](args)
 

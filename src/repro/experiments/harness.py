@@ -81,6 +81,12 @@ class WorldConfig:
     #: "bucket" trades per-push heap churn for O(1) inserts at the deep
     #: queue depths of full-scale worlds.
     event_queue: Optional[str] = None
+    #: Tie-order mode among same-timestamp events: "fifo", "reversed", or
+    #: ``None`` to follow the ``REPRO_TIE_ORDER`` env var (default fifo).
+    #: "reversed" is the race-detector differential mode (see
+    #: :mod:`repro.analysis.races`): any metric difference between a fifo
+    #: and a reversed run of the same world is a confirmed order-dependence.
+    tie_order: Optional[str] = None
     #: PV-spinlock grace budget: CPU time a guest waiter spins before
     #: blocking on its event channel (None = spin forever; see
     #: repro.guest.kernel.GuestKernel).
@@ -121,7 +127,7 @@ class CloudWorld:
     def __init__(self, config: WorldConfig | None = None) -> None:
         self.config = config or WorldConfig()
         cfg = self.config
-        self.sim = Simulator(queue=cfg.event_queue)
+        self.sim = Simulator(queue=cfg.event_queue, tie_order=cfg.tie_order)
         self.rng = SimRNG(cfg.seed)
         self.cluster: Cluster = build_cluster(
             self.sim, cfg.n_nodes, cfg.node_params, cfg.net_params

@@ -151,6 +151,13 @@ class RunSpec:
     :class:`~repro.sim.engine.WatchdogExceeded` instead of spinning until
     the host-side timeout kills it.  Folded into the cache key only when
     set.
+
+    ``tie_order`` selects the simulator's ordering among same-timestamp
+    events (``"fifo"``/``"reversed"``, see
+    :data:`repro.sim.engine.TIE_ORDERS`).  The race-detector differential
+    (:mod:`repro.analysis.races`) runs each cell once per tie order and
+    diffs the results.  Folded into the cache key only when set, so
+    existing cached digests of plain (fifo) cells stay valid.
     """
 
     scenario: str
@@ -161,6 +168,7 @@ class RunSpec:
     profile: bool = False
     max_sim_events: Optional[int] = None
     max_sim_ns: Optional[int] = None
+    tie_order: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -188,6 +196,8 @@ class RunSpec:
             payload["max_sim_events"] = self.max_sim_events
         if self.max_sim_ns is not None:
             payload["max_sim_ns"] = self.max_sim_ns
+        if self.tie_order is not None:
+            payload["tie_order"] = self.tie_order
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def digest(self, salt: Optional[str] = None) -> str:
@@ -208,6 +218,8 @@ class RunSpec:
             d["max_sim_events"] = self.max_sim_events
         if self.max_sim_ns is not None:
             d["max_sim_ns"] = self.max_sim_ns
+        if self.tie_order is not None:
+            d["tie_order"] = self.tie_order
         return d
 
 
@@ -256,6 +268,8 @@ def _execute_cell(spec: RunSpec, retries: int = 1) -> dict:
         kwargs["trace"] = True
     if spec.profile:
         kwargs["profile"] = True
+    if spec.tie_order is not None:
+        kwargs["tie_order"] = spec.tie_order
     attempts = 0
     last_exc: Optional[BaseException] = None
     # Host wall-clock (never feeds simulation state, so exempt from the

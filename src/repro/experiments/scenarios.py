@@ -83,6 +83,7 @@ def _world(
     placement: str = "spread",
     migration: Optional[dict] = None,
     event_queue: Optional[str] = None,
+    tie_order: Optional[str] = None,
 ) -> CloudWorld:
     # Fault plans and migration configs travel through scenario params as
     # JSON dicts so they are picklable and fold into the sweep cache key
@@ -92,6 +93,7 @@ def _world(
         WorldConfig(
             n_nodes=n_nodes,
             event_queue=event_queue,
+            tie_order=tie_order,
             vms_per_node=vms_per_node,
             vcpus_per_vm=vcpus_per_vm,
             scheduler=scheduler,
@@ -148,6 +150,7 @@ def run_type_a(
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
     event_queue: Optional[str] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Evaluation type A (Figs. 1, 10): four identical virtual clusters,
     one VM per node each, all running ``app_name``.
@@ -164,7 +167,7 @@ def run_type_a(
         vcpus_per_vm=vcpus_per_vm, sanitize=sanitize,
         uniform_slice_ns=None if uniform_slice_ms is None else ns_from_ms(uniform_slice_ms),
         trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
-        event_queue=event_queue,
+        event_queue=event_queue, tie_order=tie_order,
     )
     apps = []
     for k in range(n_vclusters):
@@ -201,6 +204,7 @@ def run_table1_cell(
     sanitize: bool = False,
     profile: bool = False,
     event_queue: Optional[str] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """One full-scale Table-I trace cell: the paper's exact 32-node /
     256-core evaluation-type-B platform (Section IV-B2).
@@ -219,7 +223,7 @@ def run_table1_cell(
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params,
         vcpus_per_vm=mix.vcpus_per_vm, vms_per_node=4, sanitize=sanitize,
-        profile=profile, event_queue=event_queue,
+        profile=profile, event_queue=event_queue, tie_order=tie_order,
     )
     rng = world.rng.substream(999)
     vc_apps = []
@@ -266,6 +270,7 @@ def run_slice_sweep(
     horizon_s: float = 300.0,
     sanitize: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Static slice sweep under CR (Figs. 5 and 8).
 
@@ -280,6 +285,7 @@ def run_slice_sweep(
         world = _world(
             n_nodes, "CR", seed, uniform_slice_ns=ns_from_ms(sm),
             vcpus_per_vm=vcpus_per_vm, sanitize=sanitize, faults=faults,
+            tie_order=tie_order,
         )
         apps = []
         for k in range(n_vclusters):
@@ -321,6 +327,7 @@ def run_small_mix(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Section II-A2 platform (Figs. 2 and 9): two nodes, four VMs each;
     three two-VM virtual clusters run ``parallel_app`` in the background,
@@ -341,6 +348,7 @@ def run_small_mix(
         trace_capacity=trace_capacity,
         profile=profile,
         faults=faults,
+        tie_order=tie_order,
     )
     bg_apps = []
     for k in range(3):
@@ -397,6 +405,7 @@ def run_type_b(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Evaluation type B (Fig. 11): LLNL-trace virtual-cluster mix, every
     cluster running a random NPB kernel repeatedly;
@@ -404,6 +413,7 @@ def run_type_b(
     world = _world(
         n_nodes, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
         trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
+        tie_order=tie_order,
     )
     rng = world.rng.substream(999)
     mix = _scaled_vc_mix(world, rng)
@@ -452,6 +462,7 @@ def run_type_b_mixed(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Section IV-C (Figs. 12-14): type B clusters plus independent VMs
     running lu/is and the non-parallel suite.  One extra node hosts the
@@ -459,6 +470,7 @@ def run_type_b_mixed(
     world = _world(
         n_nodes + 1, scheduler, seed, sched_params=sched_params, sanitize=sanitize,
         trace=trace, trace_capacity=trace_capacity, profile=profile, faults=faults,
+        tie_order=tie_order,
     )
     # keep the client node (last index) out of general placement
     world._node_vm_load[n_nodes] = world.config.vms_per_node - 1
@@ -543,6 +555,7 @@ def run_packet_path_probe(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Fig. 4: measure the four scheduling-wait overhead sources on the
     cross-VM packet path while parallel load keeps the hosts busy.
@@ -561,6 +574,7 @@ def run_packet_path_probe(
         trace_capacity=trace_capacity,
         profile=profile,
         faults=faults,
+        tie_order=tie_order,
     )
     for k in range(3):
         vc = world.virtual_cluster(n_vms=2, name=f"vc{k}")
@@ -623,6 +637,7 @@ def run_migration_rebalance(
     trace_capacity: int = 65536,
     profile: bool = False,
     faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
 ) -> dict:
     """Mixed-tenancy world under a live-migration rebalancing policy.
 
@@ -644,7 +659,7 @@ def run_migration_rebalance(
         n_nodes, scheduler, seed, sched_params=sched_params,
         vcpus_per_vm=vcpus_per_vm, vms_per_node=vms_per_node,
         sanitize=sanitize, trace=trace, trace_capacity=trace_capacity,
-        profile=profile, faults=faults, placement=placement,
+        profile=profile, faults=faults, placement=placement, tie_order=tie_order,
         migration=None if policy == "static" else {"policy": policy, **(migration or {})},
     )
     apps = []

@@ -51,6 +51,8 @@ __all__ = [
     "install_watchdog",
     "on_simulator_created",
     "EVENT_QUEUE_KINDS",
+    "TIE_ORDERS",
+    "ACCOUNTING_CATS",
 ]
 
 #: Optional callable invoked with every newly constructed :class:`Simulator`.
@@ -61,6 +63,35 @@ on_simulator_created: Optional[Callable[["Simulator"], None]] = None
 
 #: Recognized queue backends.
 EVENT_QUEUE_KINDS = ("heap", "bucket")
+
+#: Recognized tie-order modes for events sharing a timestamp.  ``"fifo"``
+#: (default) pops simultaneous events in scheduling order; ``"reversed"``
+#: inverts the sequence comparison *within* equal timestamps only (times
+#: still pop in order).  Any metric difference between a "fifo" and a
+#: "reversed" run of the same scenario is a confirmed order-dependence:
+#: the result hinges on insertion order among simultaneous events, which
+#: nothing in the model specifies (see :mod:`repro.analysis.races`).
+TIE_ORDERS = ("fifo", "reversed")
+
+#: Event categories whose callbacks run in the *accounting phase*: at any
+#: given timestamp they execute before all other (default-phase) events,
+#: regardless of scheduling order or tie-order mode.  This pins down the
+#: one intra-timestamp ordering the model genuinely specifies: periodic
+#: accounting (credit refresh, ATC slice recomputation, migration rounds
+#: riding the period hooks) applies *before* same-instant dispatches and
+#: guest activity consume it.  Without the phase, a slice timer expiring
+#: exactly on a period boundary raced the period tick for who runs first —
+#: a race the tie-order differential flagged on every ATC scenario.
+#: ``tie_order="reversed"`` inverts ordering within a phase only, so the
+#: accounting-before-consumers contract is part of the semantics, not an
+#: accident of insertion order.
+ACCOUNTING_CATS = frozenset({"vmm.period"})
+
+#: Phase stride for queue keys: entries are keyed by
+#: ``(time, phase * _PHASE_STRIDE + tie_sign * seq)``.  Sequence numbers
+#: can never reach 2**53 events, so phase dominates the comparison and
+#: ``seq`` breaks ties within a phase.
+_PHASE_STRIDE = 1 << 53
 
 
 class SimulationError(RuntimeError):
@@ -306,6 +337,10 @@ class Simulator:
         not count).
     queue_kind:
         The active backend, ``"heap"`` or ``"bucket"``.
+    tie_order:
+        How simultaneous events are ordered: ``"fifo"`` (default) or
+        ``"reversed"`` (the race-detector differential mode — see
+        :data:`TIE_ORDERS`).
     """
 
     __slots__ = (
@@ -313,6 +348,8 @@ class Simulator:
         "_heap",
         "_q",
         "queue_kind",
+        "tie_order",
+        "_seqsign",
         "_seq",
         "events_processed",
         "cancelled_popped",
@@ -321,18 +358,31 @@ class Simulator:
         "profiler",
     )
 
-    def __init__(self, queue: Optional[str] = None) -> None:
+    def __init__(self, queue: Optional[str] = None, tie_order: Optional[str] = None) -> None:
         if queue is None:
             queue = os.environ.get("REPRO_EVENT_QUEUE") or "heap"
         if queue not in EVENT_QUEUE_KINDS:
             raise SimulationError(
                 f"unknown event queue {queue!r}; expected one of {EVENT_QUEUE_KINDS}"
             )
+        if tie_order is None:
+            tie_order = os.environ.get("REPRO_TIE_ORDER") or "fifo"
+        if tie_order not in TIE_ORDERS:
+            raise SimulationError(
+                f"unknown tie order {tie_order!r}; expected one of {TIE_ORDERS}"
+            )
+        self.tie_order = tie_order
+        #: Queue entries are keyed by ``(time, _seqsign * seq)``: +1 pops
+        #: FIFO among ties, -1 pops LIFO (reversed) among ties.  Stored on
+        #: the instance so the hot scheduling path pays one multiply and
+        #: no branch, and the (time, seq) key stays a pure int tuple.
+        self._seqsign = 1 if tie_order == "fifo" else -1
         self.queue_kind = queue
         self.now: int = 0
-        #: Binary-heap backend storage.  Entries are ``(time, seq, Event)``
-        #: or ``(time, seq, fn, cat)`` tuples (see :meth:`post_at`); heapq
-        #: therefore only ever compares ints, never Python objects.
+        #: Binary-heap backend storage.  Entries are ``(time, key, Event)``
+        #: or ``(time, key, fn, cat)`` tuples (see :meth:`post_at`), where
+        #: ``key`` encodes phase and (sign-adjusted) sequence number in one
+        #: int; heapq therefore only ever compares ints, never objects.
         self._heap: list = []
         #: Calendar-queue backend (``None`` for the heap backend).
         self._q: Optional[BucketQueue] = BucketQueue() if queue == "bucket" else None
@@ -368,7 +418,10 @@ class Simulator:
             )
         time = int(time)
         ev = Event(time, self._seq, fn, cat)
-        entry = (time, self._seq, ev)
+        key = self._seqsign * self._seq
+        if cat not in ACCOUNTING_CATS:
+            key += _PHASE_STRIDE
+        entry = (time, key, ev)
         self._seq += 1
         if self._q is None:
             heappush(self._heap, entry)
@@ -393,7 +446,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        entry = (int(time), self._seq, fn, cat)
+        key = self._seqsign * self._seq
+        if cat not in ACCOUNTING_CATS:
+            key += _PHASE_STRIDE
+        entry = (int(time), key, fn, cat)
         self._seq += 1
         if self._q is None:
             heappush(self._heap, entry)

@@ -248,10 +248,12 @@ def test_stop_preserves_fifo_among_simultaneous_events(sim):
     """Stopping mid-timestamp must not reorder the remaining same-time
     events on resume."""
     order = []
-    sim.at(10, lambda: order.append("a"))
+    # deliberate same-instant appends: the test asserts the engine's FIFO
+    # tie-break, so the "race" RPR040/041 flags is the property under test
+    sim.at(10, lambda: order.append("a"))  # repro: ignore[RPR040,RPR041]
     sim.at(10, sim.stop)
-    sim.at(10, lambda: order.append("b"))
-    sim.at(10, lambda: order.append("c"))
+    sim.at(10, lambda: order.append("b"))  # repro: ignore[RPR040,RPR041]
+    sim.at(10, lambda: order.append("c"))  # repro: ignore[RPR040,RPR041]
     sim.run()
     assert order == ["a"]
     sim.run()

@@ -103,9 +103,10 @@ def test_env_var_selects_backend(monkeypatch):
 def test_post_at_fires_in_fifo_order_with_at(queue):
     sim = Simulator(queue=queue)
     order = []
-    sim.at(10, lambda: order.append("a"))
+    # deliberate same-instant appends asserting at/post_at FIFO interleave
+    sim.at(10, lambda: order.append("a"))  # repro: ignore[RPR040,RPR041]
     sim.post_at(10, lambda: order.append("b"))
-    sim.at(10, lambda: order.append("c"))
+    sim.at(10, lambda: order.append("c"))  # repro: ignore[RPR040,RPR041]
     sim.post_at(5, lambda: order.append("first"))
     sim.run()
     assert order == ["first", "a", "b", "c"]

@@ -19,6 +19,7 @@ from repro.analysis.lint import (
 
 REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 REPO_BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+REPO_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
 def codes(source: str) -> list[str]:
@@ -199,6 +200,128 @@ def test_bare_except_pragma_suppresses():
 
 
 # ----------------------------------------------------------------------
+# RPR040 / RPR041: same-timestamp hook order dependence
+# ----------------------------------------------------------------------
+HOOK_PAIR = """
+class Controller:
+    def _tick_a(self, now):
+        self.vm.slice_ns = 1
+
+    def _tick_b(self, now):
+        self.vm.slice_ns = 2
+
+    def install(self, vmm):
+        vmm.period_hooks.append(self._tick_a)
+        vmm.period_hooks.append(self._tick_b)
+"""
+
+
+def test_period_hook_write_overlap_flagged():
+    assert "RPR040" in codes(HOOK_PAIR)
+
+
+def test_disjoint_period_hooks_ok():
+    src = HOOK_PAIR.replace("self.vm.slice_ns = 2", "self.vm.period_ns = 2")
+    assert "RPR040" not in codes(src)
+
+
+def test_same_callback_reregistered_ok():
+    src = HOOK_PAIR.replace(
+        "vmm.period_hooks.append(self._tick_b)",
+        "vmm.period_hooks.append(self._tick_a)",
+    )
+    assert "RPR040" not in codes(src)
+
+
+def test_same_time_schedule_overlap_flagged():
+    src = (
+        "def setup(sim, vm):\n"
+        "    def a():\n"
+        "        vm.credits = 1\n"
+        "    def b():\n"
+        "        vm.credits = 2\n"
+        "    sim.at(1000, a)\n"
+        "    sim.at(1000, b)\n"
+    )
+    assert "RPR040" in codes(src)
+
+
+def test_different_time_schedules_ok():
+    src = (
+        "def setup(sim, vm):\n"
+        "    def a():\n"
+        "        vm.credits = 1\n"
+        "    def b():\n"
+        "        vm.credits = 2\n"
+        "    sim.at(1000, a)\n"
+        "    sim.at(2000, b)\n"
+    )
+    assert "RPR040" not in codes(src)
+
+
+def test_rpr040_interprocedural_through_self_call():
+    src = HOOK_PAIR.replace(
+        "self.vm.slice_ns = 1", "self._update()"
+    ) + (
+        "\n    def _update(self):\n"
+        "        self.vm.slice_ns = 3\n"
+    )
+    assert "RPR040" in codes(src)
+
+
+def test_rpr040_pragma_suppresses():
+    src = HOOK_PAIR.replace(
+        "vmm.period_hooks.append(self._tick_b)",
+        "vmm.period_hooks.append(self._tick_b)  # repro: ignore[RPR040]",
+    )
+    assert "RPR040" not in codes(src)
+
+
+CLOSURE_PAIR = """
+def setup(sim, vmm):
+    stats = {"n": 0}
+
+    def writer():
+        stats.update(n=1)
+        vmm.busy = True
+
+    def reader():
+        consume(stats)
+
+    sim.at(100, writer)
+    sim.at(100, reader)
+"""
+
+
+def test_closure_capture_race_flagged():
+    assert "RPR041" in codes(CLOSURE_PAIR)
+
+
+def test_closure_capture_disjoint_ok():
+    src = CLOSURE_PAIR.replace("consume(stats)", "consume(1)")
+    assert "RPR041" not in codes(src)
+
+
+def test_rpr041_pragma_suppresses():
+    src = CLOSURE_PAIR.replace(
+        "sim.at(100, reader)", "sim.at(100, reader)  # repro: ignore[RPR041]"
+    )
+    assert "RPR041" not in codes(src)
+
+
+def test_lambda_callback_resolved():
+    src = (
+        "def setup(sim, vm):\n"
+        "    def a():\n"
+        "        vm.credits = 1\n"
+        "    sim.at(50, a)\n"
+        "    sim.at(50, lambda: setattr_like(vm))\n"
+    )
+    # the lambda writes nothing the analysis can see: no finding
+    assert "RPR040" not in codes(src)
+
+
+# ----------------------------------------------------------------------
 # Pragma semantics
 # ----------------------------------------------------------------------
 def test_bracketless_pragma_suppresses_everything():
@@ -209,6 +332,67 @@ def test_bracketless_pragma_suppresses_everything():
 def test_pragma_with_wrong_code_does_not_suppress():
     src = "import time\nt = time.time()  # repro: ignore[RPR020]\n"
     assert "RPR001" in codes(src)
+
+
+def test_pragma_multi_code_list():
+    src = (
+        "import time\n"
+        "t = time.time() + id(x)  # repro: ignore[RPR001, RPR010]\n"
+    )
+    assert codes(src) == []
+
+
+def test_pragma_multi_code_list_partial():
+    """A list naming only one of two co-located findings keeps the other."""
+    src = (
+        "import time\n"
+        "t = time.time() + id(x)  # repro: ignore[RPR001]\n"
+    )
+    assert codes(src) == ["RPR010"]
+
+
+def test_pragma_unknown_code_is_inert():
+    """Unknown codes in the list are ignored, not an error — and do not
+    suppress real findings on the line."""
+    src = "import time\nt = time.time()  # repro: ignore[RPR999]\n"
+    assert codes(src) == ["RPR001"]
+
+
+def test_pragma_unknown_plus_matching_code_still_suppresses():
+    src = "import time\nt = time.time()  # repro: ignore[RPR999, RPR001]\n"
+    assert codes(src) == []
+
+
+def test_pragma_empty_bracket_is_blanket():
+    """``ignore[]`` degrades to a blanket ignore (empty list = no codes
+    parsed = same as bracketless)."""
+    src = "import time\nt = time.time()  # repro: ignore[]\n"
+    assert codes(src) == []
+
+
+def test_pragma_case_insensitive_codes():
+    src = "import time\nt = time.time()  # repro: ignore[rpr001]\n"
+    assert codes(src) == []
+
+
+def test_pragma_on_continuation_line_does_not_suppress():
+    """Findings anchor at the expression's *first* line; a pragma on a
+    continuation line is on the wrong line and must not suppress."""
+    src = (
+        "import time\n"
+        "t = time.time(\n"
+        ")  # repro: ignore[RPR001]\n"
+    )
+    assert codes(src) == ["RPR001"]
+
+
+def test_pragma_on_anchor_line_of_multiline_call_suppresses():
+    src = (
+        "import time\n"
+        "t = time.time(  # repro: ignore[RPR001]\n"
+        ")\n"
+    )
+    assert codes(src) == []
 
 
 # ----------------------------------------------------------------------
@@ -253,8 +437,12 @@ def test_run_lint_exit_codes(tmp_path):
 
 
 def test_repo_tree_is_lint_clean():
-    """src/repro and benchmarks must stay free of determinism hazards."""
-    found = lint_paths([REPO_SRC, REPO_BENCH])
+    """src/repro, benchmarks and examples must stay free of determinism
+    hazards."""
+    paths = [REPO_SRC, REPO_BENCH]
+    if REPO_EXAMPLES.is_dir():
+        paths.append(REPO_EXAMPLES)
+    found = lint_paths(paths)
     assert found == [], "\n" + "\n".join(f.format() for f in found)
 
 
