@@ -11,6 +11,7 @@ Examples::
     python -m repro probe --scheduler CR
     python -m repro chaos --app is --nodes 2 --faults random:3:1
     python -m repro migrate --policy demix --placement pack
+    python -m repro serve --admission migration-aware --rate 3 --tenants 8
     python -m repro trace --app is --slice 30
     python -m repro perf
     python -m repro lint src/repro benchmarks tests examples
@@ -40,6 +41,14 @@ cell where the chosen policy (``demix`` / ``consolidate`` /
 ``evacuate``) live-migrates VMs at runtime, reporting parallel round
 times, completed migrations and per-VM downtime.  It accepts the same
 ``--faults`` spec (``evacuate`` drains crashed / degraded nodes).
+
+``serve`` runs the always-on service scenario (:mod:`repro.service`):
+tenants arrive as a stream (Poisson at ``--rate``, or ``--arrival trace``
+replaying ``--trace-file``), the ``--admission`` policy admits / queues /
+rejects each one, completed tenants are torn down with their capacity
+reclaimed, and the admission/SLO rollup plus a per-tenant table are
+printed.  ``migration-aware`` admission auto-attaches a demix rebalancer
+and kicks it under admission pressure.
 
 ``trace`` runs one traced type-A cell (:mod:`repro.obs.trace`) and writes
 a JSON-lines trace plus a Chrome ``trace_event`` file (open in Perfetto
@@ -79,6 +88,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import run_packet_path_probe
 from repro.schedulers.registry import scheduler_names
+from repro.service.admission import admission_names
 from repro.workloads.npb import NPB_EXTENDED
 
 __all__ = ["main", "build_parser"]
@@ -186,6 +196,30 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--horizon", type=float, default=10.0, help="virtual seconds")
     sp.add_argument("--faults", default=None, metavar="SPEC",
                     help="fault plan: random:N[:SEED], inline JSON, or a plan file")
+    runner_opts(sp)
+
+    sp = sub.add_parser("serve", help="always-on service: streaming tenant "
+                        "arrivals under online admission (repro.service)")
+    sp.add_argument("--scheduler", default="ATC", choices=scheduler_names())
+    sp.add_argument("--nodes", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--admission", default="fcfs-queue", choices=admission_names(),
+                    help="admission policy (default fcfs-queue)")
+    sp.add_argument("--arrival", default="poisson", choices=["poisson", "trace"],
+                    help="arrival source (trace replays --trace-file)")
+    sp.add_argument("--rate", type=float, default=2.0, metavar="PER_S",
+                    help="Poisson arrival rate, tenants per virtual second "
+                    "(default 2.0)")
+    sp.add_argument("--tenants", type=int, default=6, metavar="N",
+                    help="total tenants to generate (default 6)")
+    sp.add_argument("--rounds", type=int, default=1,
+                    help="NPB rounds each tenant runs (default 1)")
+    sp.add_argument("--placement", default="pack", metavar="POLICY",
+                    help="initial placement policy (default pack)")
+    sp.add_argument("--trace-file", default=None, metavar="PATH",
+                    help="JSON arrival trace for --arrival trace: a list of "
+                    '{"at_ms", "n_vms", "app", "rounds"} dicts')
+    sp.add_argument("--horizon", type=float, default=30.0, help="virtual seconds")
     runner_opts(sp)
 
     sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
@@ -317,7 +351,7 @@ def _run_cells(args, specs: list[RunSpec], allow_partial: bool = False) -> Optio
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
-    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, probe")
+    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, serve, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
           "lint (static determinism checks; --list-rules for codes), "
@@ -564,6 +598,61 @@ def _cmd_migrate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    params = dict(
+        admission=args.admission, arrival=args.arrival, scheduler=args.scheduler,
+        n_nodes=args.nodes, placement=args.placement, rate_per_s=args.rate,
+        max_tenants=args.tenants, rounds=args.rounds, seed=args.seed,
+        horizon_s=args.horizon,
+    )
+    if args.trace_file:
+        import json as _json
+
+        with open(args.trace_file) as fh:
+            params["service_trace"] = _json.load(fh)
+    spec = RunSpec("service", params, label=f"serve:{args.admission}",
+                   sanitize=args.sanitize)
+    results = _run_cells(args, [spec])
+    if results is None:
+        return 1
+    s = results[0].value["service"]
+    rows = [
+        ("submitted", s["submitted"]),
+        ("admitted", s["admitted"]),
+        ("rejected", s["rejected"]),
+        ("departed", s["departed"]),
+        ("still running", s["running_now"]),
+        ("still queued", s["queued_now"]),
+        ("queue peak", s["queue_peak"]),
+        ("mean wait (ms)", f"{s['wait_mean_ns'] / 1e6:.3f}"),
+        ("mean slowdown", f"{s['slowdown_mean']:.3f}"),
+        ("rebalancer kicks", s["rebalancer_kicks"]),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Service — {args.admission} admission, {args.arrival} "
+            f"arrivals on {args.nodes} nodes",
+        )
+    )
+    tenant_rows = [
+        (t["name"], t["app"], t["n_vms"], t["state"],
+         "-" if t["wait_ns"] is None else f"{t['wait_ns'] / 1e6:.3f}",
+         "-" if t["slowdown"] is None else f"{t['slowdown']:.3f}")
+        for t in s["tenants"]
+    ]
+    if tenant_rows:
+        print(
+            format_table(
+                ["tenant", "app", "vms", "state", "wait (ms)", "slowdown"],
+                tenant_rows,
+                title="Tenants",
+            )
+        )
+    return 0
+
+
 def _cmd_probe(args) -> int:
     r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
                               n_probes=args.probes, seed=args.seed,
@@ -752,6 +841,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "typeb": _cmd_typeb,
         "chaos": _cmd_chaos,
         "migrate": _cmd_migrate,
+        "serve": _cmd_serve,
         "probe": _cmd_probe,
         "trace": _cmd_trace,
         "perf": _cmd_perf,

@@ -35,6 +35,7 @@ from repro.migration.engine import MigrationConfig, MigrationEngine
 from repro.migration.rebalancer import Rebalancer
 from repro.schedulers.base import SchedulerParams
 from repro.schedulers.registry import make_scheduler_factory
+from repro.service.service import CloudService, ServiceConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRNG
 from repro.sim.units import MSEC, SEC
@@ -116,6 +117,12 @@ class WorldConfig:
     #: plane draws no RNG and adds no events, so such a run stays
     #: bit-identical to one without the subsystem.
     migration: Optional[MigrationConfig] = None
+    #: Always-on service layer (repro.service): streaming tenant arrivals
+    #: under online admission control; ``None`` = batch mode (fixed
+    #: population).  A service layer configured for zero arrivals adds no
+    #: events and draws no RNG, so such a run is bit-identical — event
+    #: count included — to one without the layer.
+    service: Optional[ServiceConfig] = None
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -160,6 +167,9 @@ class CloudWorld:
             self.migration_engine = MigrationEngine(self, cfg.migration.params)
             if cfg.migration.policy != "none":
                 self.rebalancer = Rebalancer(self, self.migration_engine, cfg.migration)
+        self.service: Optional[CloudService] = (
+            CloudService(self, cfg.service) if cfg.service is not None else None
+        )
         self.apps: list[ParallelApp] = []  # tracked (finite-round) jobs
         self.background: list = []  # infinite jobs and non-parallel apps
         self._started = False
@@ -263,6 +273,44 @@ class CloudWorld:
         return vc
 
     # ------------------------------------------------------------------
+    # Teardown (tenant departures — repro.service)
+    # ------------------------------------------------------------------
+    def teardown_vm(self, vm: VM) -> None:
+        """Remove a guest VM from the platform, reclaiming its node slot.
+
+        The inverse of :meth:`_create_vm`.  The VM is frozen first (the
+        PR-4 latch-and-replay pause), so stale guest timers and in-flight
+        packets addressed to it latch harmlessly instead of corrupting
+        scheduler state; it is then dropped from every roster: the VMM's
+        VM list, the per-node load, vmid-keyed scheduler state (vSlicer's
+        LS set) and the world VM list.  An in-flight migration of the VM
+        is aborted.  The host census changed, so the per-host slice
+        minimum (Algorithm 2) is re-run immediately, exactly as after a
+        migration handoff.
+        """
+        if vm.is_dom0:
+            raise ValueError(f"{vm.name}: dom0 cannot be torn down")
+        if self.migration_engine is not None:
+            self.migration_engine.cancel(vm, reason="teardown")
+        vmm = vm.node.vmm
+        vmm.pause_vm(vm)  # never resumed: late wakes stay latched forever
+        vmm.vms.remove(vm)
+        self._node_vm_load[vm.node.index] -= 1
+        ls = getattr(vmm.scheduler, "ls_vms", None)
+        if ls is not None:
+            ls.pop(vm.vmid, None)
+        self.vms.remove(vm)
+        controller = getattr(vmm.scheduler, "controller", None)
+        if controller is not None and not vmm.node.crashed:
+            controller.on_period(self.sim.now)
+
+    def teardown_cluster(self, vc: VirtualCluster) -> None:
+        """Tear down every VM of a virtual cluster and deregister it."""
+        for vm in vc.vms:
+            self.teardown_vm(vm)
+        self.virtual_clusters.remove(vc)
+
+    # ------------------------------------------------------------------
     # Workload builders
     # ------------------------------------------------------------------
     def add_npb(
@@ -358,6 +406,8 @@ class CloudWorld:
             app.start()
         for app in self.background:
             app.start()
+        if self.service is not None:
+            self.service.start()
 
     def run(self, horizon_ns: int = 60 * SEC) -> None:
         """Run until every tracked app finished its rounds, or the horizon.

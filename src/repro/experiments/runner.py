@@ -75,6 +75,7 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "packet_path_probe": scenarios.run_packet_path_probe,
     "fault_probe": scenarios.run_fault_probe,
     "migration_rebalance": scenarios.run_migration_rebalance,
+    "service": scenarios.run_service,
 }
 
 

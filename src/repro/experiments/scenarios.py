@@ -27,6 +27,11 @@ Setups reproduced:
   under a live-migration rebalancing policy (:mod:`repro.migration`):
   compares static placements against dynamically demixed/consolidated/
   evacuated ones.
+* ``run_service`` — always-on cloud service (:mod:`repro.service`):
+  tenants arrive as a stream (Poisson or trace replay), an admission
+  policy admits/queues/rejects them, and completed tenants are torn
+  down with their resources reclaimed.  Compares admission policies at
+  equal offered load.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from typing import Optional, Sequence
 from repro.experiments.harness import CloudWorld, WorldConfig
 from repro.faults.plan import FaultPlan
 from repro.migration.engine import MigrationConfig
+from repro.service.service import ServiceConfig
 from repro.guest.process import recv_block, send
 from repro.metrics.collectors import cluster_stats
 from repro.metrics.summary import mean
@@ -57,6 +63,7 @@ __all__ = [
     "run_packet_path_probe",
     "run_fault_probe",
     "run_migration_rebalance",
+    "run_service",
     "full_scale",
 ]
 
@@ -82,12 +89,13 @@ def _world(
     faults: Optional[Sequence[dict]] = None,
     placement: str = "spread",
     migration: Optional[dict] = None,
+    service: Optional[dict] = None,
     event_queue: Optional[str] = None,
     tie_order: Optional[str] = None,
 ) -> CloudWorld:
-    # Fault plans and migration configs travel through scenario params as
-    # JSON dicts so they are picklable and fold into the sweep cache key
-    # automatically.
+    # Fault plans, migration configs and service configs travel through
+    # scenario params as JSON dicts so they are picklable and fold into
+    # the sweep cache key automatically.
     plan = FaultPlan.from_dicts(faults) if faults else None
     return CloudWorld(
         WorldConfig(
@@ -107,6 +115,7 @@ def _world(
             faults=plan,
             placement=placement,
             migration=MigrationConfig.from_dict(migration) if migration else None,
+            service=ServiceConfig.from_dict(service) if service else None,
         )
     )
 
@@ -128,6 +137,8 @@ def _attach_obs(result: dict, world: CloudWorld) -> dict:
         result["migration"] = world.migration_engine.stats
     if world.rebalancer is not None:
         result["rebalancer"] = world.rebalancer.stats
+    if world.service is not None:
+        result["service"] = world.service.stats
     return result
 
 
@@ -679,6 +690,79 @@ def run_migration_rebalance(
             f"vc{k}": apps[k].mean_round_ns for k in range(n_clusters)
         },
         "final_nodes": {vm.name: vm.node.index for vm in world.vms},
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }, world)
+
+
+def run_service(
+    admission: str = "fcfs-queue",
+    arrival: str = "poisson",
+    scheduler: str = "ATC",
+    n_nodes: int = 3,
+    vms_per_node: int = 4,
+    vcpus_per_vm: int = 4,
+    placement: str = "pack",
+    rate_per_s: float = 2.0,
+    max_tenants: int = 6,
+    service_trace: Optional[Sequence[dict]] = None,
+    min_vcpus: int = 8,
+    max_vcpus: int = 16,
+    rounds: int = 1,
+    apps: Sequence[str] = ("lu", "is"),
+    npb_class: str = "A",
+    seed: int = 0,
+    horizon_s: float = 30.0,
+    migration: Optional[dict] = None,
+    sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
+) -> dict:
+    """Always-on cloud service: streaming tenant arrivals under an
+    online admission policy (:mod:`repro.service`).
+
+    Tenants arrive as a Poisson process at ``rate_per_s`` (or replay
+    ``service_trace``, a list of ``{"at_ms", "n_vms", "app", "rounds"}``
+    dicts), draw their VM-count shape from the Table-I size distribution
+    restricted to ``[min_vcpus, max_vcpus]``, and submit to ``admission``
+    (one of :func:`repro.service.admission.admission_names`).  Completed
+    tenants are torn down and their capacity reclaimed, so later arrivals
+    reuse it.  ``admission="migration-aware"`` auto-attaches a demix
+    rebalancer unless ``migration`` overrides it; the policy queues and
+    kicks the rebalancer when no foreign-cluster-free placement exists.
+    """
+    if admission == "migration-aware" and migration is None:
+        migration = {"policy": "demix"}
+    service = {
+        "arrival": arrival,
+        "admission": admission,
+        "rate_per_s": rate_per_s,
+        "max_tenants": max_tenants,
+        "trace": list(service_trace or ()),
+        "min_vcpus": min_vcpus,
+        "max_vcpus": max_vcpus,
+        "rounds": rounds,
+        "apps": list(apps),
+        "npb_class": npb_class,
+    }
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=vcpus_per_vm, vms_per_node=vms_per_node,
+        sanitize=sanitize, trace=trace, trace_capacity=trace_capacity,
+        profile=profile, faults=faults, placement=placement,
+        migration=migration, service=service, tie_order=tie_order,
+    )
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return _attach_obs({
+        "scheduler": scheduler,
+        "admission": admission,
+        "arrival": arrival,
+        "n_nodes": n_nodes,
+        "offered_load_per_s": rate_per_s,
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
     }, world)

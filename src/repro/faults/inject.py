@@ -43,6 +43,7 @@ class FaultInjector:
         plan.validate(n_nodes, n_pcpus)
         self.injected: dict[str, int] = {}
         self.healed: dict[str, int] = {}
+        self.skipped: dict[str, int] = {}
         kinds = plan.kinds()
         fabric = world.cluster.fabric
         if "nic_degrade" in kinds:
@@ -66,6 +67,7 @@ class FaultInjector:
             "events": len(self.plan.events),
             "injected": {k: self.injected[k] for k in sorted(self.injected)},
             "healed": {k: self.healed[k] for k in sorted(self.healed)},
+            "skipped": {k: self.skipped[k] for k in sorted(self.skipped)},
             "messages_dropped": fabric.messages_dropped,
             "retransmits": fabric.retransmits,
             "messages_lost": fabric.messages_lost,
@@ -113,23 +115,41 @@ class FaultInjector:
             return vmm.dom0.vm
         if ev.vm:
             # Named VMs may have been live-migrated off ev.node since the
-            # plan was written: search the whole cluster.
+            # plan was written: search the whole cluster.  Under the
+            # service layer a named tenant VM may also have departed (torn
+            # down) or not arrived yet — that's a skip, not an error.
             for other in self.world.vmms:
                 for vm in other.vms:
                     if vm.name == ev.vm:
                         return vm
-            raise ValueError(f"{ev.kind}: no VM named {ev.vm!r} in the cluster")
+            return None
         guests = vmm.guest_vms
         if not guests:
-            raise ValueError(f"{ev.kind}: node {ev.node} has no guest VM")
+            # A node whose tenants all departed has no guest to pause.
+            return None
         return guests[0]
+
+    def _skip(self, ev: FaultEvent) -> None:
+        self.skipped[ev.kind] = self.skipped.get(ev.kind, 0) + 1
+        if obstrace.enabled:
+            obstrace.emit(
+                "fault.skip", self.sim.now,
+                fault=ev.kind, node=ev.node, vm=ev.vm or None,
+            )
 
     def _pause(self, ev: FaultEvent) -> None:
         vm = self._target_vm(ev)
+        if vm is None:
+            self._skip(ev)
+            return
         vm.node.vmm.pause_vm(vm)
 
     def _unpause(self, ev: FaultEvent) -> None:
         vm = self._target_vm(ev)
+        if vm is None:
+            # The pause was skipped (or the VM has since been torn down,
+            # in which case it stays frozen harmlessly) — nothing to undo.
+            return
         # The VMM's pause depth keeps the VM frozen while other windows
         # (overlapping faults, migration stop-and-copy) are still open; a
         # node restart force-clears the depth, making this a no-op.

@@ -31,6 +31,7 @@ __all__ = [
     "node_registry",
     "cluster_registry",
     "migration_registry",
+    "service_registry",
     "world_registry",
     "vm_stats",
     "node_stats",
@@ -95,6 +96,38 @@ def cluster_registry(cluster: "Cluster") -> MetricsRegistry:
     return reg
 
 
+def service_registry(service) -> MetricsRegistry:
+    """Always-on service rollup (repro.service): admission counters, the
+    wait queue, and the completed-tenant wait/slowdown aggregates."""
+    reg = MetricsRegistry()
+    reg.register("submitted", lambda: service.submitted)
+    reg.register("admitted", lambda: service.admitted)
+    reg.register("rejected", lambda: service.rejected)
+    reg.register("departed", lambda: service.departed)
+    reg.register("queued_now", lambda: len(service.queue))
+    reg.register("queue_peak", lambda: service.queue_peak)
+    reg.register("running_now", lambda: len(service.running))
+    reg.register("running_vms", lambda: sum(t.n_vms for t in service.running.values()))
+    reg.register("rebalancer_kicks", lambda: service.rebalancer_kicks)
+    reg.register(
+        "wait_mean_ns",
+        lambda: (
+            sum(w) // len(w)
+            if (w := [t.wait_ns for t in service.tenants if t.wait_ns is not None])
+            else 0
+        ),
+    )
+    reg.register(
+        "slowdown_mean",
+        lambda: (
+            sum(s) / len(s)
+            if (s := [t.slowdown for t in service.tenants if t.slowdown is not None])
+            else 0.0
+        ),
+    )
+    return reg
+
+
 def migration_registry(engine) -> MetricsRegistry:
     """Live-migration rollup (repro.migration).  ``downtime_ns`` is the
     per-VM accumulated stop-and-copy blackout, conserved against the
@@ -131,6 +164,9 @@ def world_registry(world) -> MetricsRegistry:
     engine = getattr(world, "migration_engine", None)
     if engine is not None:
         reg.merge(migration_registry(engine), prefix="migration.")
+    service = getattr(world, "service", None)
+    if service is not None:
+        reg.merge(service_registry(service), prefix="service.")
     return reg
 
 

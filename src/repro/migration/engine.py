@@ -362,6 +362,21 @@ class MigrationEngine:
             controller.on_period(self.sim.now)
 
     # -- abort -----------------------------------------------------------
+    def cancel(self, vm: VM, reason: str = "cancelled") -> bool:
+        """Abort the in-flight migration of ``vm``, if any.
+
+        Used by ``CloudWorld.teardown_vm`` when a tenant departs while
+        one of its VMs is mid-migration: the destination reservation is
+        released and a stop-and-copy pause (if open) is resumed before
+        the caller re-freezes the VM for good.  Returns ``True`` when a
+        migration was actually aborted.
+        """
+        m = self.active.get(vm.vmid)
+        if m is None:
+            return False
+        self._abort(m, reason)
+        return True
+
     def _abort(self, m: Migration, reason: str) -> None:
         if m.done:
             return

@@ -54,6 +54,7 @@ class Rebalancer:
         self._ticks = 0
         self.control_rounds = 0
         self.migrations_requested = 0
+        self.kicks = 0
         for vmm in world.vmms:
             vmm.period_hooks.append(self._on_period)
 
@@ -65,6 +66,7 @@ class Rebalancer:
             "policy": self.cfg.policy,
             "control_rounds": self.control_rounds,
             "migrations_requested": self.migrations_requested,
+            "kicks": self.kicks,
             "unhealthy_nodes": list(self.unhealthy),
         }
 
@@ -76,6 +78,18 @@ class Rebalancer:
         self._ticks += 1
         if self._ticks % self.cfg.control_every:
             return
+        self._control(now)
+
+    def kick(self, now: int) -> None:
+        """Run an off-cycle control round immediately.
+
+        The service layer's migration-aware admission calls this under
+        admission pressure (no foreign-cluster-free placement exists for
+        a new tenant), so a demix round can make room before the next
+        scheduled ``control_every`` tick.  Draws no RNG and schedules no
+        events beyond any migrations it starts.
+        """
+        self.kicks += 1
         self._control(now)
 
     def _control(self, now: int) -> None:

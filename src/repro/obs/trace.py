@@ -38,6 +38,9 @@ Record kinds (``TraceLog.KINDS``):
     duration).
 ``fault.heal``
     The matching recovery: restart, resume, or link restoration.
+``fault.skip``
+    A pause fault found no target — its named VM departed (service
+    teardown) or never arrived; the event was counted and dropped.
 ``migrate.start``
     A live migration began: VM, source/destination nodes, and the memory
     image size the pre-copy phase must move.
@@ -50,6 +53,14 @@ Record kinds (``TraceLog.KINDS``):
 ``migrate.done``
     The migration completed (or aborted, with the reason in ``status``):
     total rounds, bytes, and end-to-end duration.
+``service.admit``
+    A :mod:`repro.service` tenant was admitted: its app, VM count, node
+    assignment, and how long it waited in the queue since submission.
+``service.reject``
+    A tenant was turned away by the admission policy (no capacity).
+``service.depart``
+    A tenant finished its rounds and its cluster was torn down: time in
+    system and slowdown (time in system over the app's compute bound).
 
 Activation is scoped: ``with log.activate(): world.run(...)``.  Only one
 log is active at a time per process (sweep workers are separate
@@ -122,10 +133,14 @@ class TraceLog:
         "pkt.hop",
         "fault.inject",
         "fault.heal",
+        "fault.skip",
         "migrate.start",
         "migrate.round",
         "migrate.downtime",
         "migrate.done",
+        "service.admit",
+        "service.reject",
+        "service.depart",
     )
 
     __slots__ = ("capacity", "_buf", "_next", "total", "dropped", "by_kind")

@@ -1,0 +1,32 @@
+"""Always-on cloud service: streaming tenant arrivals and departures.
+
+Turns the batch-mode :class:`~repro.experiments.harness.CloudWorld` into
+the paper's actual setting — a cloud platform where virtual clusters
+come and go continuously and the scheduler must adapt online:
+
+* :mod:`repro.service.arrivals` — open-loop Poisson and trace-replay
+  arrival processes, seeded from a dedicated :class:`~repro.sim.rng.
+  SimRNG` substream, drawing tenant shapes from the Table-I synthesizer
+  distribution.
+* :mod:`repro.service.admission` — the online admission-control policy
+  registry (``fcfs-queue`` / ``reject-on-full`` / ``migration-aware``).
+* :mod:`repro.service.service` — :class:`CloudService`, the engine that
+  drives each tenant through its full lifecycle (submit → admit / queue
+  / reject → run → complete → teardown with every resource reclaimed)
+  and the :class:`ServiceConfig` carried by ``WorldConfig.service``.
+"""
+
+from repro.service.admission import ADMISSIONS, admission_names
+from repro.service.arrivals import SERVICE_RNG_KEY, PoissonArrivals, TraceArrivals
+from repro.service.service import CloudService, ServiceConfig, Tenant
+
+__all__ = [
+    "ADMISSIONS",
+    "admission_names",
+    "SERVICE_RNG_KEY",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "CloudService",
+    "ServiceConfig",
+    "Tenant",
+]
