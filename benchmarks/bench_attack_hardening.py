@@ -1,0 +1,108 @@
+"""Adversarial tenancy: do the hardening knobs recover the victim?
+
+Extension benchmark (no paper figure; DESIGN.md §15): a parallel victim
+cluster shares each node with yield-theft and tickle-storm attacker VMs
+(repro.workloads.attacks).  Every cell runs on the *vulnerable*
+substrate (tick-sampled accounting), so the clean/attacked pairs isolate
+exactly what the attackers cause:
+
+* ``unhardened`` — stock knobs: deterministic tick phase, exact-grid
+  sampling, no BOOST rate limit, no slice floor;
+* ``hardened``   — ``deboost_on_yield`` + per-VM BOOST rate limit +
+  randomized tick phase, and on ATC the host slice floor clamp.
+
+Each (scheduler, hardening) pair runs clean and attacked at two scales
+(single node, and two nodes with the victim cluster spanning them).
+Regenerates: victim slowdown (attacked / clean mean round), thief gain
+(CPU consumed / CPU debited; > 1 means stolen time), and the slowdown
+fraction hardening recovers.  Asserts, at both scales and under both
+credit and ATC: the unhardened attacker profits (gain > 1), and
+hardening claws back at least half of the victim slowdown.
+"""
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+
+from _common import emit, full_scale, run_grid, run_once
+
+SCALES = {
+    "1-node": dict(n_nodes=1, horizon_s=8.0 if full_scale() else 4.0),
+    "2-node": dict(n_nodes=2, horizon_s=12.0 if full_scale() else 6.0),
+}
+RESULTS: dict[str, dict] = {}
+
+
+def _specs(scale: str) -> list[RunSpec]:
+    return [
+        RunSpec(
+            "attack",
+            dict(
+                scheduler=sched,
+                hardened=hardened,
+                attack=attack,
+                seed=0,
+                **SCALES[scale],
+            ),
+            label=f"{scale}:{sched}:{'hard' if hardened else 'open'}:"
+            f"{'atk' if attack else 'clean'}",
+        )
+        for sched in ("CR", "ATC")
+        for hardened in (False, True)
+        for attack in (False, True)
+    ]
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_attack_cells(benchmark, scale):
+    results = run_grid(benchmark, _specs(scale))
+    for r in results:
+        v = r.value
+        RESULTS[(scale, v["scheduler"], v["hardened"], v["attack"])] = v
+
+
+def test_attack_hardening_report(benchmark):
+    def report():
+        rows = []
+        for scale in SCALES:
+            for sched in ("CR", "ATC"):
+                slow = {}
+                gain = {}
+                for hardened in (False, True):
+                    clean = RESULTS[(scale, sched, hardened, False)]
+                    atk = RESULTS[(scale, sched, hardened, True)]
+                    slow[hardened] = (
+                        atk["victim_mean_round_ns"] / clean["victim_mean_round_ns"]
+                    )
+                    gain[hardened] = atk["thief"]["gain"]
+                recovered = (slow[False] - slow[True]) / (slow[False] - 1.0)
+                rows.append((
+                    scale,
+                    sched,
+                    f"{slow[False]:.3f}",
+                    f"{slow[True]:.3f}",
+                    f"{recovered:.3f}",
+                    f"{gain[False]:.3f}",
+                    f"{gain[True]:.3f}",
+                ))
+        emit(
+            "Attack hardening — victim slowdown and thief gain, "
+            "clean vs attacked (tick-sampled accounting everywhere)",
+            ["scale", "scheduler", "slowdown open", "slowdown hard",
+             "recovered", "thief gain open", "thief gain hard"],
+            rows,
+            name="attack_hardening",
+        )
+        return rows
+
+    rows = run_once(benchmark, report)
+    for scale, sched, s_open, s_hard, rec, g_open, g_hard in rows:
+        # The unhardened scheduler is exploitable: the thief banks more
+        # CPU than it is debited, and the victim visibly slows down.
+        # (``float("inf") > 1.0`` — an uncaught thief also counts.)
+        assert float(g_open) > 1.0, (scale, sched, g_open)
+        assert float(s_open) > 1.0, (scale, sched, s_open)
+        # Hardening must recover at least half of the victim slowdown
+        # and take the thief's free lunch away.
+        assert float(rec) >= 0.5, (scale, sched, rec)
+        assert float(g_hard) <= 1.1, (scale, sched, g_hard)

@@ -281,9 +281,13 @@ class SimSanitizer:
     # ------------------------------------------------------------------
     @staticmethod
     def _credit_snapshot(vmm: "VMM"):
-        """(vcpu, credit, consumed_ns, active) before accounting runs."""
+        """(vcpu, credit, charged_ns, active) before accounting runs.
+
+        The debit is what the scheduler *charged* (== ran under exact
+        accounting; tick-sampled under ``CreditParams.tick_accounting``);
+        activity is still judged on actual consumption."""
         return [
-            (v, v.credit, v.period_run_ns, v.state.value != 0 or v.period_run_ns > 0)
+            (v, v.credit, v.period_charged_ns, v.state.value != 0 or v.period_run_ns > 0)
             for vm in vmm.vms
             for v in vm.vcpus
         ]

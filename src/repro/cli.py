@@ -222,6 +222,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--horizon", type=float, default=30.0, help="virtual seconds")
     runner_opts(sp)
 
+    sp = sub.add_parser("attack", help="adversarial tenancy: yield-theft + "
+                        "tickle-storm attackers vs hardening knobs "
+                        "(repro.workloads.attacks, DESIGN.md §15)")
+    sp.add_argument("--scheduler", default=None, choices=["CR", "ATC"],
+                    help="restrict the grid to one scheduler (default: both)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--app", default="lu", choices=NPB_EXTENDED,
+                    help="parallel victim application (default lu)")
+    sp.add_argument("--horizon", type=float, default=6.0, help="virtual seconds")
+    runner_opts(sp)
+
     sp = sub.add_parser("probe", help="Fig. 4 packet-path hop decomposition")
     sp.add_argument("--scheduler", default="CR", choices=scheduler_names())
     sp.add_argument("--seed", type=int, default=0)
@@ -351,7 +362,7 @@ def _run_cells(args, specs: list[RunSpec], allow_partial: bool = False) -> Optio
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
-    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, serve, probe")
+    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, serve, attack, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
           "lint (static determinism checks; --list-rules for codes), "
@@ -653,6 +664,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_attack(args) -> int:
+    scheds = [args.scheduler] if args.scheduler else ["CR", "ATC"]
+    specs = [
+        RunSpec("attack", dict(
+            scheduler=sched, hardened=hardened, attack=attack,
+            seed=args.seed, horizon_s=args.horizon, victim_app=args.app,
+        ), label="attack:{}:{}:{}".format(
+            sched, "hard" if hardened else "open", "atk" if attack else "clean"
+        ), sanitize=args.sanitize)
+        for sched in scheds
+        for hardened in (False, True)
+        for attack in (False, True)
+    ]
+    results = _run_cells(args, specs)
+    if results is None:
+        return 1
+    by = {
+        (r.value["scheduler"], r.value["hardened"], r.value["attack"]): r.value
+        for r in results
+    }
+    rows = []
+    for sched in scheds:
+        for hardened in (False, True):
+            clean = by[(sched, hardened, False)]
+            atk = by[(sched, hardened, True)]
+            slow = atk["victim_mean_round_ns"] / clean["victim_mean_round_ns"]
+            rows.append((
+                sched,
+                "hardened" if hardened else "unhardened",
+                f"{slow:.3f}",
+                f"{atk['thief']['gain']:.3f}",
+                atk["tickler"]["boost_preempts_inflicted"],
+                atk["victim_boost_preempts_suffered"],
+            ))
+    print(
+        format_table(
+            ["scheduler", "config", "victim slowdown", "thief gain",
+             "tickle preempts", "victim preempts"],
+            rows,
+            title=f"Adversarial tenancy — {args.app} victim (tick-sampled "
+            "accounting; gain = CPU consumed / CPU debited)",
+        )
+    )
+    for sched in scheds:
+        slow_u = (by[(sched, False, True)]["victim_mean_round_ns"]
+                  / by[(sched, False, False)]["victim_mean_round_ns"])
+        slow_h = (by[(sched, True, True)]["victim_mean_round_ns"]
+                  / by[(sched, True, False)]["victim_mean_round_ns"])
+        if slow_u > 1.0:
+            rec = (slow_u - slow_h) / (slow_u - 1.0)
+            print(f"{sched}: hardening recovers {rec:.0%} of the victim slowdown",
+                  file=sys.stderr)
+    return 0
+
+
 def _cmd_probe(args) -> int:
     r = run_packet_path_probe(args.scheduler, uniform_slice_ms=args.slice,
                               n_probes=args.probes, seed=args.seed,
@@ -842,6 +908,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "migrate": _cmd_migrate,
         "serve": _cmd_serve,
+        "attack": _cmd_attack,
         "probe": _cmd_probe,
         "trace": _cmd_trace,
         "perf": _cmd_perf,

@@ -40,6 +40,13 @@ class ATCConfig:
     #:   "queuewait": the non-intrusive VMM-side run-queue-wait proxy
     #:   (the paper's stated future work — no guest modification needed).
     monitor_mode: str = "guest"
+    #: Hardening clamp (ns): never apply a host slice below this floor,
+    #: even when the control law asks for one.  An adversarial co-tenant
+    #: can inflate observed wake/spin latency (tickle storms) to steer
+    #: Algorithm 2 toward ``min_threshold_ns``, taxing every parallel VM
+    #: with context-switch overhead; the floor bounds that steering.
+    #: 0 (default) disables the clamp — the historical behaviour.
+    slice_floor_ns: int = 0
 
     def __post_init__(self) -> None:
         if self.alpha_ns <= self.beta_ns:
@@ -55,3 +62,7 @@ class ATCConfig:
             raise ValueError(f"unknown trend_policy {self.trend_policy!r}")
         if self.monitor_mode not in ("guest", "queuewait"):
             raise ValueError(f"unknown monitor_mode {self.monitor_mode!r}")
+        if self.slice_floor_ns < 0:
+            raise ValueError("slice_floor_ns must be >= 0")
+        if self.slice_floor_ns > self.default_ns:
+            raise ValueError("slice_floor_ns above the default slice")

@@ -71,6 +71,10 @@ class ATCController:
                 vm.slice_ns = vm.admin_slice_ns  # None means default
         if parallel:
             min_slice = min(candidates)
+            if cfg.slice_floor_ns > 0:
+                # Hardening clamp: adversarial latency spikes cannot steer
+                # the host slice below the configured floor.
+                min_slice = max(min_slice, cfg.slice_floor_ns)
             for vm in parallel:
                 vm.slice_ns = min_slice
             if self.record_series:

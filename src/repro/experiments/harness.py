@@ -41,6 +41,7 @@ from repro.sim.rng import SimRNG
 from repro.sim.units import MSEC, SEC
 from repro.virtcluster.cluster import VirtualCluster
 from repro.virtcluster.placement import place
+from repro.workloads.attacks import ATTACK_RNG_KEY, TickleAbuseApp, YieldTheftApp
 from repro.workloads.base import BSPSpec, ParallelApp
 from repro.workloads.nonparallel import (
     CPU_APP_SPECS,
@@ -384,6 +385,19 @@ class CloudWorld:
         return self._register_background(
             WebServerApp(self.sim, server_vm, client_vm, self._next_rng(), **kw)
         )
+
+    # -- adversarial tenants (repro.workloads.attacks) ------------------
+    # Attackers draw *only* from the dedicated ATTACK_RNG_KEY substream
+    # (sub-keyed by ``stream``), never from ``_next_rng()``: worlds that
+    # build no attackers consume zero attack entropy and the honest apps'
+    # draw sequences are unperturbed by attackers being added or removed.
+    def add_yield_theft(self, vm: VM, stream: int = 0, **kw) -> YieldTheftApp:
+        rng = self.rng.substream(ATTACK_RNG_KEY, stream)
+        return self._register_background(YieldTheftApp(self.sim, vm, rng, **kw))
+
+    def add_tickle_abuse(self, vm: VM, stream: int = 0, **kw) -> TickleAbuseApp:
+        rng = self.rng.substream(ATTACK_RNG_KEY, stream)
+        return self._register_background(TickleAbuseApp(self.sim, vm, rng, **kw))
 
     # ------------------------------------------------------------------
     # Execution

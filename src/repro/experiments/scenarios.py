@@ -64,6 +64,7 @@ __all__ = [
     "run_fault_probe",
     "run_migration_rebalance",
     "run_service",
+    "run_attack",
     "full_scale",
 ]
 
@@ -763,6 +764,132 @@ def run_service(
         "arrival": arrival,
         "n_nodes": n_nodes,
         "offered_load_per_s": rate_per_s,
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }, world)
+
+
+def run_attack(
+    scheduler: str = "CR",
+    hardened: bool = False,
+    attack: bool = True,
+    seed: int = 0,
+    horizon_s: float = 6.0,
+    n_nodes: int = 1,
+    vcpus_per_vm: int = 4,
+    victim_app: str = "lu",
+    npb_class: str = "A",
+    n_attack_procs: int = 4,
+    boost_rate_limit: int = 2,
+    slice_floor_ms: float = 6.0,
+    sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
+) -> dict:
+    """Adversarial-tenancy cell (DESIGN.md §15): one over-committed node
+    hosting a parallel victim cluster, a non-parallel victim, and two
+    attacker VMs — a yield-before-tick thief and a BOOST/tickle stormer
+    (:mod:`repro.workloads.attacks`).
+
+    Every cell — clean or attacked, hardened or not — runs the scheduler
+    with Xen-faithful tick-*sampled* debiting
+    (``CreditParams.tick_accounting``), the substrate the classic Zhou
+    et al. attacks game, so clean/attack pairs isolate the attacker's
+    effect.  ``hardened`` switches on the full mitigation set:
+    ``deboost_on_yield``, a per-VM BOOST rate limit, a randomized tick
+    phase (drawn off the dedicated attack substream), and — under ATC —
+    the ``slice_floor_ns`` clamp on Algorithm 2.
+
+    ``attack=False`` keeps the identical tenancy shape (the attacker VMs
+    exist but stay idle, their VCPUs never wake) and constructs no
+    attacker apps, so clean cells draw zero attack entropy.  The CLI /
+    bench derive *victim slowdown* (attacked / clean mean round) and
+    *attacker gain* (``cpu_consumed_ns / cpu_debited_ns``) from the
+    {clean, attack} × {hardened, unhardened} grid per scheduler.
+    """
+    from repro.core.config import ATCConfig
+    from repro.schedulers.atc_sched import ATCParams
+    from repro.schedulers.credit import CreditParams
+    from repro.workloads.attacks import ATTACK_RNG_KEY
+
+    if scheduler not in ("CR", "ATC"):
+        raise ValueError(f"run_attack supports CR/ATC, got {scheduler!r}")
+    if sched_params is None:
+        # The randomized tick phase is adversarial-layer entropy: draw it
+        # off the dedicated attack substream (distinct stream key 0xF0 so
+        # attacker apps and the phase never share draws), only when the
+        # hardened configuration actually uses it.
+        phase = 0
+        if hardened:
+            tick = CreditParams.tick_ns
+            phase = SimRNG(seed).substream(ATTACK_RNG_KEY, 0xF0).uniform_ns(0, tick - 1)
+        knobs = dict(
+            tick_accounting=True,
+            deboost_on_yield=hardened,
+            boost_rate_limit=boost_rate_limit if hardened else 0,
+            tick_phase_ns=phase,
+        )
+        if scheduler == "ATC":
+            sched_params = ATCParams(
+                atc=ATCConfig(
+                    slice_floor_ns=ns_from_ms(slice_floor_ms) if hardened else 0
+                ),
+                **knobs,
+            )
+        else:
+            sched_params = CreditParams(**knobs)
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=vcpus_per_vm, vms_per_node=4, sanitize=sanitize,
+        trace=trace, trace_capacity=trace_capacity, profile=profile,
+        faults=faults, tie_order=tie_order,
+    )
+    vc = world.virtual_cluster(n_vms=n_nodes, name="victim")
+    victim = world.add_npb(victim_app, vc.vms, rounds=None, warmup_rounds=1,
+                           npb_class=npb_class)
+    np_vm = world.new_vm(name="np-victim")
+    np_app = world.add_cpu_app("sphinx3", np_vm)
+    world.add_cpu_app("gcc", np_vm)
+    thief_vm = world.new_vm(name="thief")
+    tickler_vm = world.new_vm(name="tickler")
+    thieves = []
+    ticklers = []
+    if attack:
+        thieves = [world.add_yield_theft(thief_vm, stream=i)
+                   for i in range(n_attack_procs)]
+        ticklers = [world.add_tickle_abuse(tickler_vm, stream=0x10 + i)
+                    for i in range(n_attack_procs)]
+    world.run(horizon_ns=round(horizon_s * SEC))
+    victim_vms = list(vc.vms) + [np_vm]
+    return _attach_obs({
+        "scheduler": scheduler,
+        "hardened": hardened,
+        "attack": attack,
+        "victim_app": victim_app,
+        "victim_mean_round_ns": victim.mean_round_ns,
+        "victim_rounds": len(victim.round_times),
+        "np_mean_run_ns": np_app.mean_run_ns,
+        "victim_boost_preempts_suffered": sum(
+            vm.boost_preempts_suffered for vm in victim_vms
+        ),
+        "thief": {
+            "cycles": sum(a.cycles for a in thieves),
+            "cpu_consumed_ns": thief_vm.cpu_consumed_ns,
+            "cpu_debited_ns": thief_vm.cpu_debited_ns,
+            "gain": (thief_vm.cpu_consumed_ns / thief_vm.cpu_debited_ns
+                     if thief_vm.cpu_debited_ns > 0
+                     else (float("inf") if thief_vm.cpu_consumed_ns > 0 else 1.0)),
+        },
+        "tickler": {
+            "wakes": sum(a.wakes for a in ticklers),
+            "boost_preempts_inflicted": tickler_vm.boost_preempts_inflicted,
+            "cpu_consumed_ns": tickler_vm.cpu_consumed_ns,
+            "cpu_debited_ns": tickler_vm.cpu_debited_ns,
+        },
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,
     }, world)

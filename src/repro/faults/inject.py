@@ -27,6 +27,7 @@ from repro.obs import trace as obstrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.harness import CloudWorld
+    from repro.hypervisor.vm import VM
 
 __all__ = ["FaultInjector"]
 
@@ -55,8 +56,14 @@ class FaultInjector:
         self._crash_depth = [0] * n_nodes
         #: Per-node stack of (bw_factor, drop_prob) degradations.
         self._deg_stack: dict[int, list[tuple[float, float]]] = {}
-        for ev in plan.events:
-            self.sim.at(ev.at_ns, lambda e=ev: self._apply(e), cat="fault")
+        #: Plan-index → VM actually paused at inject time.  The heal must
+        #: release exactly that pause: re-resolving the target at heal time
+        #: can land on a *different* VM (service tenants arrive and depart
+        #: between inject and heal) and decrement a pause depth it never
+        #: incremented.
+        self._paused: dict[int, "VM"] = {}
+        for idx, ev in enumerate(plan.events):
+            self.sim.at(ev.at_ns, lambda e=ev, i=idx: self._apply(e, i), cat="fault")
 
     # ------------------------------------------------------------------
     @property
@@ -86,24 +93,31 @@ class FaultInjector:
                 duration_ns=ev.duration_ns,
             )
 
-    def _apply(self, ev: FaultEvent) -> None:
+    def _apply(self, ev: FaultEvent, idx: int) -> None:
         self.injected[ev.kind] = self.injected.get(ev.kind, 0) + 1
         self._emit("inject", ev)
-        getattr(self, f"_apply_{ev.kind}")(ev)
+        getattr(self, f"_apply_{ev.kind}")(ev, idx)
         if ev.duration_ns > 0:
-            self.sim.after(ev.duration_ns, lambda e=ev: self._heal(e), cat="fault")
+            self.sim.after(
+                ev.duration_ns, lambda e=ev, i=idx: self._heal(e, i), cat="fault"
+            )
 
-    def _heal(self, ev: FaultEvent) -> None:
+    def _heal(self, ev: FaultEvent, idx: int) -> None:
+        if ev.kind in ("vm_pause", "dom0_stall") and idx not in self._paused:
+            # The inject was skipped (no target VM existed), so there is
+            # no pause to release — and no heal to record: transient
+            # pauses keep ``injected == healed + skipped``.
+            return
         self.healed[ev.kind] = self.healed.get(ev.kind, 0) + 1
         self._emit("heal", ev)
-        getattr(self, f"_heal_{ev.kind}")(ev)
+        getattr(self, f"_heal_{ev.kind}")(ev, idx)
 
     # -- node crash ------------------------------------------------------
-    def _apply_node_crash(self, ev: FaultEvent) -> None:
+    def _apply_node_crash(self, ev: FaultEvent, idx: int) -> None:
         self._crash_depth[ev.node] += 1
         self.world.vmms[ev.node].crash()
 
-    def _heal_node_crash(self, ev: FaultEvent) -> None:
+    def _heal_node_crash(self, ev: FaultEvent, idx: int) -> None:
         self._crash_depth[ev.node] -= 1
         if self._crash_depth[ev.node] <= 0:
             self.world.vmms[ev.node].restart()
@@ -137,22 +151,24 @@ class FaultInjector:
                 fault=ev.kind, node=ev.node, vm=ev.vm or None,
             )
 
-    def _pause(self, ev: FaultEvent) -> None:
+    def _pause(self, ev: FaultEvent, idx: int) -> None:
         vm = self._target_vm(ev)
         if vm is None:
             self._skip(ev)
             return
+        self._paused[idx] = vm
         vm.node.vmm.pause_vm(vm)
 
-    def _unpause(self, ev: FaultEvent) -> None:
-        vm = self._target_vm(ev)
-        if vm is None:
-            # The pause was skipped (or the VM has since been torn down,
-            # in which case it stays frozen harmlessly) — nothing to undo.
-            return
+    def _unpause(self, ev: FaultEvent, idx: int) -> None:
+        # Release exactly the VM paused at inject time.  Re-resolving the
+        # target here could pick up a VM admitted *after* the skip/pause
+        # (service-layer arrivals) and decrement a pause depth this window
+        # never incremented — unfreezing someone else's stop-and-copy.
+        vm = self._paused.pop(idx)
         # The VMM's pause depth keeps the VM frozen while other windows
-        # (overlapping faults, migration stop-and-copy) are still open; a
-        # node restart force-clears the depth, making this a no-op.
+        # (overlapping faults, migration stop-and-copy, a teardown of the
+        # departed VM) are still open; a node restart force-clears the
+        # depth, making this a no-op.
         vm.node.vmm.resume_vm(vm)
 
     _apply_dom0_stall = _pause
@@ -161,12 +177,12 @@ class FaultInjector:
     _heal_vm_pause = _unpause
 
     # -- NIC degradation -------------------------------------------------
-    def _apply_nic_degrade(self, ev: FaultEvent) -> None:
+    def _apply_nic_degrade(self, ev: FaultEvent, idx: int) -> None:
         stack = self._deg_stack.setdefault(ev.node, [])
         stack.append((ev.bw_factor, ev.drop_prob))
         self.world.cluster.fabric.degrade_link(ev.node, ev.bw_factor, ev.drop_prob)
 
-    def _heal_nic_degrade(self, ev: FaultEvent) -> None:
+    def _heal_nic_degrade(self, ev: FaultEvent, idx: int) -> None:
         stack = self._deg_stack.get(ev.node, [])
         if (ev.bw_factor, ev.drop_prob) in stack:
             stack.remove((ev.bw_factor, ev.drop_prob))
@@ -177,11 +193,11 @@ class FaultInjector:
             fabric.restore_link(ev.node)
 
     # -- PCPU straggler --------------------------------------------------
-    def _apply_pcpu_straggler(self, ev: FaultEvent) -> None:
+    def _apply_pcpu_straggler(self, ev: FaultEvent, idx: int) -> None:
         end_ns = self.sim.now + ev.duration_ns
         self._straggle_tick(ev, end_ns)
 
-    def _heal_pcpu_straggler(self, ev: FaultEvent) -> None:
+    def _heal_pcpu_straggler(self, ev: FaultEvent, idx: int) -> None:
         """The tick chain self-terminates at its end time."""
 
     def _straggle_tick(self, ev: FaultEvent, end_ns: int) -> None:

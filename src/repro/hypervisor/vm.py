@@ -53,6 +53,7 @@ class VCPU:
         "run_start_ns",
         "total_run_ns",
         "period_run_ns",
+        "period_charged_ns",
         "period_wakes",
         "wake_ns",
         "wake_pending",
@@ -72,6 +73,12 @@ class VCPU:
         self.run_start_ns = 0
         self.total_run_ns = 0
         self.period_run_ns = 0
+        #: What the scheduler actually *debits* this period.  Equal to
+        #: ``period_run_ns`` under exact accounting; under Xen-faithful
+        #: tick-sampled accounting (``CreditParams.tick_accounting``) a
+        #: dispatch is charged per accounting tick it spans, which is the
+        #: window the yield-before-tick theft attack games.
+        self.period_charged_ns = 0
         self.period_wakes = 0
         self.wake_ns = 0
         #: A wake arrived while the VM was paused (fault injection); the
@@ -142,6 +149,13 @@ class VM:
         "total_io_events",
         "period_queue_wait_ns",
         "period_queue_waits",
+        # theft accounting (repro.workloads.attacks / DESIGN.md §15)
+        "cpu_consumed_ns",
+        "cpu_debited_ns",
+        "boost_preempts_inflicted",
+        "boost_preempts_suffered",
+        "boost_window_idx",
+        "boost_window_wakes",
     )
 
     _next_id = 0
@@ -187,6 +201,21 @@ class VM:
         #: instrumentation.
         self.period_queue_wait_ns = 0
         self.period_queue_waits = 0
+        #: Theft accounting: CPU time this VM's VCPUs actually consumed vs
+        #: what the scheduler debited against their credits.  Identical
+        #: under exact accounting; a gap (consumed > debited) quantifies
+        #: yield-before-tick theft under tick-sampled accounting.
+        self.cpu_consumed_ns = 0
+        self.cpu_debited_ns = 0
+        #: BOOST-wake preemptions this VM's wakes inflicted on other VMs'
+        #: running VCPUs / its own running VCPUs suffered (tickle-abuse
+        #: pressure, both directions).
+        self.boost_preempts_inflicted = 0
+        self.boost_preempts_suffered = 0
+        #: BOOST rate-limit window bookkeeping (scheduler-owned; only
+        #: touched when ``CreditParams.boost_rate_limit`` > 0).
+        self.boost_window_idx = -1
+        self.boost_window_wakes = 0
 
     # ------------------------------------------------------------------
     def count_io_event(self, n: int = 1) -> None:

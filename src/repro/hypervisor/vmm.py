@@ -155,8 +155,29 @@ class VMM:
         ran = now - vcpu.run_start_ns
         vcpu.total_run_ns += ran
         vcpu.period_run_ns += ran
+        # What the scheduler *debits* for this dispatch.  Exact accounting
+        # charges ran; tick-sampled accounting (CreditParams.tick_accounting)
+        # charges per tick boundary crossed — the charged/ran gap is the
+        # theft-accounting signal of the adversarial-tenancy experiments.
+        charged = self.scheduler.charge_ns(
+            vcpu, vcpu.run_start_ns, now, voluntary=(next_state is VCPUState.BLOCKED)
+        )
+        vcpu.period_charged_ns += charged
+        vcpu.vm.cpu_consumed_ns += ran
+        vcpu.vm.cpu_debited_ns += charged
         pcpu.busy_ns += ran
         pcpu.cache.on_undispatch(now, vcpu)
+        if charged != ran and obstrace.enabled:
+            obstrace.emit(
+                "sched.theft",
+                now,
+                node=self.node.index,
+                pcpu=pcpu.index,
+                vcpu=vcpu.name,
+                vm=vcpu.vm.name,
+                ran_ns=ran,
+                charged_ns=charged,
+            )
         if obstrace.enabled:
             obstrace.emit(
                 "vcpu.state",

@@ -53,6 +53,12 @@ def vm_registry(vm: "VM") -> MetricsRegistry:
     reg.register("spin_waits", lambda: k.total_spin_count if k else 0)
     reg.register("avg_spin_ns", lambda: k.avg_spin_ns if k else 0.0)
     reg.register("spin_by_kind", lambda: dict(k.spin_by_kind) if k else {})
+    # Theft accounting (repro.workloads.attacks / DESIGN.md §15): consumed
+    # vs debited diverge only under tick-sampled accounting.
+    reg.register("cpu_consumed_ns", lambda: vm.cpu_consumed_ns)
+    reg.register("cpu_debited_ns", lambda: vm.cpu_debited_ns)
+    reg.register("boost_preempts_inflicted", lambda: vm.boost_preempts_inflicted)
+    reg.register("boost_preempts_suffered", lambda: vm.boost_preempts_suffered)
     return reg
 
 
@@ -123,6 +129,17 @@ def service_registry(service) -> MetricsRegistry:
             sum(s) / len(s)
             if (s := [t.slowdown for t in service.tenants if t.slowdown is not None])
             else 0.0
+        ),
+    )
+    # Admitted-but-not-departed tenants are censored observations: their
+    # slowdown is unknown at snapshot time, not zero.  Report the count so
+    # the mean above can be read as conditional-on-completion.
+    reg.register(
+        "slowdown_censored",
+        lambda: sum(
+            1
+            for t in service.tenants
+            if t.admit_ns is not None and t.depart_ns is None
         ),
     )
     return reg

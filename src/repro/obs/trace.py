@@ -141,6 +141,8 @@ class TraceLog:
         "service.admit",
         "service.reject",
         "service.depart",
+        "sched.theft",
+        "sched.boost_preempt",
     )
 
     __slots__ = ("capacity", "_buf", "_next", "total", "dropped", "by_kind")

@@ -56,6 +56,33 @@ class CreditParams(SchedulerParams):
     #: running VCPU until the next tick; after that it is treated at its
     #: credit priority, so later boosted wakes can preempt it.
     tick_ns: int = 10 * MSEC
+    #: Xen-faithful tick-*sampled* debiting: a dispatch is charged one
+    #: full tick per accounting tick it spans instead of its exact run
+    #: time (real Xen debits whoever is running when the tick fires).
+    #: Off by default — the model's exact accounting is immune to the
+    #: classic yield-before-tick theft, so the adversarial-tenancy
+    #: experiments (repro.workloads.attacks) switch this on to expose the
+    #: window the attack games.  Disabled, charged == ran exactly and
+    #: every run is bit-identical to the pre-attack-layer model.
+    tick_accounting: bool = False
+    #: Hardening knob: charge a *voluntary* yield (block) its exact run
+    #: time even under tick accounting, so a VCPU cannot burn CPU and
+    #: dodge the debit by sleeping across each tick.  This is the
+    #: "deboost on yield" mitigation of the Xen scheduler-attack
+    #: literature: the yielder's effective credit drops as if it had been
+    #: sampled, and its next wake is no longer BOOST-eligible for free.
+    deboost_on_yield: bool = False
+    #: Hardening knob: at most this many BOOST-priority wakes per VM per
+    #: accounting tick (0 = unlimited).  Caps tickle-abuse wake storms:
+    #: excess wakes in the same tick window enter at their credit
+    #: priority instead of preempting the running victim.
+    boost_rate_limit: int = 0
+    #: Hardening knob: phase offset of the accounting-tick grid (ns,
+    #: normally drawn uniformly from [0, tick_ns) off a dedicated RNG
+    #: substream — see scenarios.run_attack).  An attacker that aligns
+    #: its burn/yield cycle to the nominal grid no longer knows where the
+    #: sampling instants fall.  0 keeps the historical grid.
+    tick_phase_ns: int = 0
 
 
 class CreditScheduler(Scheduler):
@@ -71,6 +98,14 @@ class CreditScheduler(Scheduler):
         #: wakes against the same dispatch coalesce into one queued
         #: ``_ratelimit_fire`` instead of piling a dead tickle per wake.
         self._pending_tickles: dict[int, tuple] = {}
+        #: Last (vcpu, run_start_ns) dispatch whose deferral was *counted*
+        #: per PCPU index.  ``stat_deferred_tickles`` must count once per
+        #: (PCPU, dispatch) even when the pending tickle fires as a no-op
+        #: (waiter stolen to a sibling or withdrawn by a VM pause) and a
+        #: later wake re-defers against the same dispatch — the pending
+        #: entry is gone by then, so presence in ``_pending_tickles`` alone
+        #: would double-count.
+        self._tickle_counted: dict[int, tuple] = {}
         # Introspection counters (analysis/debugging; no behavioural role).
         self.stat_wake_preemptions = 0
         self.stat_deferred_tickles = 0
@@ -78,19 +113,71 @@ class CreditScheduler(Scheduler):
         self.stat_boost_wakes = 0
 
     # ------------------------------------------------------------------
+    # Accounting-tick arithmetic (single source of truth)
+    # ------------------------------------------------------------------
+    def _tick_index(self, t: int) -> int:
+        """Index of the accounting-tick window containing instant ``t``.
+        Every tick-boundary decision — deboost, tickle re-arm, tick-
+        sampled debiting, BOOST rate-limit windows — goes through this
+        one helper so the phase offset and the boundary convention
+        (a dispatch at exactly ``k * tick`` belongs to window ``k`` and
+        deboosts at ``(k+1) * tick``, not ``(k+2) * tick``) cannot drift
+        apart between call sites."""
+        p = self.params
+        return (t - p.tick_phase_ns) // p.tick_ns
+
+    def _next_tick_after(self, t: int) -> int:
+        """First tick boundary strictly after ``t`` (the deboost instant
+        of a dispatch started at ``t``)."""
+        p = self.params
+        return (self._tick_index(t) + 1) * p.tick_ns + p.tick_phase_ns
+
+    def charge_ns(self, vcpu: "VCPU", start: int, end: int, voluntary: bool = False) -> int:
+        """Debit for a dispatch ``[start, end)``: exact by default;
+        tick-sampled under ``tick_accounting`` (one full tick per
+        boundary crossed — whoever runs when the tick fires pays it,
+        as in real Xen).  ``deboost_on_yield`` closes the voluntary-
+        yield escape by charging blocks exactly."""
+        p = self.params
+        if not p.tick_accounting or (voluntary and p.deboost_on_yield):
+            return end - start
+        return (self._tick_index(end) - self._tick_index(start)) * p.tick_ns
+
+    # ------------------------------------------------------------------
     # Placement / wake
     # ------------------------------------------------------------------
     def _effective_credit(self, vcpu: "VCPU") -> float:
-        """Credit net of what the VCPU already consumed this period (Xen
-        debits at every 10 ms tick; CPU-hungry VCPUs go OVER mid-period
-        and lose BOOST eligibility — this is why spinning parallel VMs
-        wait full run-queue rotations while idle-ish latency-sensitive
-        VMs keep preempting promptly)."""
-        return vcpu.credit - vcpu.period_run_ns
+        """Credit net of what the VCPU was already *charged* this period
+        (Xen debits at every 10 ms tick; CPU-hungry VCPUs go OVER
+        mid-period and lose BOOST eligibility — this is why spinning
+        parallel VMs wait full run-queue rotations while idle-ish
+        latency-sensitive VMs keep preempting promptly).  Charged equals
+        consumed under exact accounting; under ``tick_accounting`` the
+        gap between them is exactly what a yield-theft attacker steals."""
+        return vcpu.credit - vcpu.period_charged_ns
+
+    def _boost_within_rate(self, vcpu: "VCPU") -> bool:
+        """BOOST rate-limit hardening: allow at most ``boost_rate_limit``
+        BOOST wakes per VM per accounting tick.  With the knob off (0)
+        this touches no state, keeping default runs bit-identical."""
+        limit = self.params.boost_rate_limit
+        if limit <= 0:
+            return True
+        vm = vcpu.vm
+        idx = self._tick_index(self.vmm.sim.now)
+        if vm.boost_window_idx != idx:
+            vm.boost_window_idx = idx
+            vm.boost_window_wakes = 0
+        if vm.boost_window_wakes >= limit:
+            return False
+        vm.boost_window_wakes += 1
+        return True
 
     def _wake_prio(self, vcpu: "VCPU") -> int:
         if self._effective_credit(vcpu) > 0:
-            return PRIO_BOOST if self.params.boost else PRIO_UNDER
+            if self.params.boost and self._boost_within_rate(vcpu):
+                return PRIO_BOOST
+            return PRIO_UNDER
         return PRIO_OVER
 
     def choose_wake_queue(self, vcpu: "VCPU") -> int:
@@ -138,6 +225,8 @@ class CreditScheduler(Scheduler):
         if vcpu.prio < running_prio and self._may_preempt(vcpu, pcpu):
             if now - start >= self.params.ratelimit_ns:
                 self.stat_wake_preemptions += 1
+                if vcpu.prio == PRIO_BOOST:
+                    self._count_boost_preempt(vcpu, cur)
                 self.vmm.preempt(pcpu)
             else:
                 # Xen sched_ratelimit: defer the tickle until the current
@@ -152,10 +241,9 @@ class CreditScheduler(Scheduler):
             # member) — but only until the next global tick: re-evaluate
             # the tickle then.  This is the second deferral path, counted
             # like the ratelimit one.
-            tick = self.params.tick_ns
-            next_tick = (now // tick + 1) * tick
             self._defer_tickle(
-                pcpu, cur, start, max(next_tick, start + self.params.ratelimit_ns)
+                pcpu, cur, start,
+                max(self._next_tick_after(now), start + self.params.ratelimit_ns),
             )
 
     def _defer_tickle(
@@ -179,7 +267,14 @@ class CreditScheduler(Scheduler):
             pend[3].cancel()  # replace with the earlier fire time
             self._schedule_tickle(pcpu, cur, start, fire_at)
             return
-        self.stat_deferred_tickles += 1
+        # Count once per (PCPU, dispatch), not once per pending entry: a
+        # tickle that fired as a no-op (its waiter was stolen or withdrawn
+        # by a VM pause) clears the pending slot, and without this check a
+        # later wake against the same dispatch would be counted again.
+        counted = self._tickle_counted.get(pcpu.index)
+        if counted is None or counted[0] is not cur or counted[1] != start:
+            self.stat_deferred_tickles += 1
+            self._tickle_counted[pcpu.index] = (cur, start)
         self._schedule_tickle(pcpu, cur, start, fire_at)
 
     def _schedule_tickle(
@@ -206,9 +301,9 @@ class CreditScheduler(Scheduler):
         prio = cur.prio
         if prio == PRIO_BOOST:
             # Deboost at the next *global* tick after dispatch (Xen's
-            # periodic timer, not a per-dispatch countdown).
-            tick = self.params.tick_ns
-            if self.vmm.sim.now // tick > pcpu.run_start_ns // tick:
+            # periodic timer, not a per-dispatch countdown): a dispatch
+            # at exactly ``k * tick`` is deboosted at ``(k+1) * tick``.
+            if self._tick_index(self.vmm.sim.now) > self._tick_index(pcpu.run_start_ns):
                 prio = self._credit_prio(cur)
         return prio
 
@@ -226,16 +321,37 @@ class CreditScheduler(Scheduler):
             return
         running = self._running_prio(pcpu)
         if best < running:
+            if best == PRIO_BOOST:
+                by = next(v for v in self.runqs[pcpu.index] if v.prio == PRIO_BOOST)
+                self._count_boost_preempt(by, cur)
             self.vmm.preempt(pcpu)
         elif running == PRIO_BOOST and best < self._credit_prio(cur):
             # Still inside the runner's transient BOOST protection: re-arm
-            # at the deboost tick rather than dropping the wake on the
-            # floor.  The re-armed fire sees the deboosted priority (the
-            # tick boundary is strictly past the dispatch tick), so this
-            # re-arms at most once per dispatch — no unbounded loop.
-            tick = self.params.tick_ns
-            next_tick = (self.vmm.sim.now // tick + 1) * tick
-            self._schedule_tickle(pcpu, expected, run_start, next_tick)
+            # at the deboost instant *of this dispatch* rather than drop
+            # the wake on the floor.  Running == BOOST means the fire is
+            # still in the dispatch's tick window, so this equals the
+            # next boundary after now; computing it from ``run_start``
+            # pins the per-dispatch semantics.  The re-armed fire sees
+            # the deboosted priority (the boundary is strictly past the
+            # dispatch tick), so this re-arms at most once per dispatch.
+            self._schedule_tickle(
+                pcpu, expected, run_start, self._next_tick_after(run_start)
+            )
+
+    def _count_boost_preempt(self, by: "VCPU", victim: "VCPU") -> None:
+        """Theft accounting: a BOOST-priority wake evicted a running VCPU."""
+        by.vm.boost_preempts_inflicted += 1
+        victim.vm.boost_preempts_suffered += 1
+        if obstrace.enabled:
+            obstrace.emit(
+                "sched.boost_preempt",
+                self.vmm.sim.now,
+                node=self.vmm.node.index,
+                by_vm=by.vm.name,
+                by_vcpu=by.name,
+                victim_vm=victim.vm.name,
+                victim_vcpu=victim.name,
+            )
 
     def _may_preempt_queued(self, pcpu: "PCPU") -> bool:
         return self._may_preempt(None, pcpu)
@@ -339,7 +455,10 @@ class CreditScheduler(Scheduler):
         cap = self.params.credit_cap_periods * capacity
         for v, act in zip(vcpus, active):
             share = capacity * (v.vm.weight / total_w) if act else 0.0
-            v.credit = min(cap, max(-cap, v.credit + share - v.period_run_ns))
+            # Debit what was *charged* (== consumed under exact
+            # accounting; tick-sampled under ``tick_accounting``).
+            v.credit = min(cap, max(-cap, v.credit + share - v.period_charged_ns))
             v.period_run_ns = 0
+            v.period_charged_ns = 0
             if v.queued and v.prio != PRIO_BOOST:
                 v.prio = self._credit_prio(v)

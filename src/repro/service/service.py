@@ -403,6 +403,14 @@ class CloudService:
             "wait_max_ns": max(waits) if waits else 0,
             "slowdown_mean": sum(slowdowns) / len(slowdowns) if slowdowns else 0.0,
             "slowdown_max": max(slowdowns) if slowdowns else 0.0,
+            # Tenants admitted but still in flight at snapshot time are
+            # censored observations — excluded from the mean/max above, so
+            # those read as conditional-on-completion, not run-wide.
+            "slowdown_censored": sum(
+                1
+                for t in self.tenants
+                if t.admit_ns is not None and t.depart_ns is None
+            ),
             "time_in_system_mean_ns": sum(in_system) // len(in_system) if in_system else 0,
             "time_in_system_hist_ms": {
                 str(b): self._hist[b] for b in sorted(self._hist)

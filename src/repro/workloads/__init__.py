@@ -1,5 +1,6 @@
 """Workload models: NPB kernels (BSP), non-parallel apps, LLNL trace mix."""
 
+from repro.workloads.attacks import ATTACK_RNG_KEY, TickleAbuseApp, YieldTheftApp
 from repro.workloads.base import BSPSpec, ParallelApp, bsp_rank_program
 from repro.workloads.nonparallel import (
     BonnieApp,
@@ -19,6 +20,9 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "ATTACK_RNG_KEY",
+    "TickleAbuseApp",
+    "YieldTheftApp",
     "BSPSpec",
     "ParallelApp",
     "bsp_rank_program",

@@ -273,6 +273,78 @@ def test_earlier_recheck_replaces_pending_tickle():
     assert sched.stat_deferred_tickles >= 1
 
 
+def test_deboost_boundary_on_tick_dispatch():
+    """Boundary regression: a BOOST dispatch starting exactly on an
+    accounting tick is protected for exactly one tick window — judged at
+    its credit priority from ``run_start + tick`` on, not
+    ``run_start + 2 * tick``."""
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    sched = vmms[0].scheduler
+    vm = add_guest_vm(vmms[0], 1)
+    v = vm.vcpus[0]
+    v.prio = PRIO_BOOST
+    v.credit = -1000.0  # OVER once protection lapses
+    pcpu = cluster.nodes[0].pcpus[0]
+    pcpu.current = v
+    tick = sched.params.tick_ns
+    pcpu.run_start_ns = 7 * tick  # dispatched exactly on the boundary
+    assert sched._next_tick_after(7 * tick) == 8 * tick
+    sim.now = 7 * tick
+    assert sched._running_prio(pcpu) == PRIO_BOOST
+    sim.now = 8 * tick - 1  # last instant of the dispatch's tick window
+    assert sched._running_prio(pcpu) == PRIO_BOOST
+    sim.now = 8 * tick  # one tick after dispatch: deboosted
+    assert sched._running_prio(pcpu) == PRIO_OVER
+
+
+def test_deboost_boundary_mid_tick_dispatch():
+    """A mid-window dispatch deboosts at the next *global* tick (Xen's
+    periodic timer), i.e. after less than one full tick of protection."""
+    sim, cluster, vmms = make_node_world(n_pcpus=1)
+    sched = vmms[0].scheduler
+    vm = add_guest_vm(vmms[0], 1)
+    v = vm.vcpus[0]
+    v.prio = PRIO_BOOST
+    v.credit = -1000.0
+    pcpu = cluster.nodes[0].pcpus[0]
+    pcpu.current = v
+    tick = sched.params.tick_ns
+    pcpu.run_start_ns = 7 * tick + tick // 3
+    sim.now = 8 * tick - 1  # same window as the dispatch
+    assert sched._running_prio(pcpu) == PRIO_BOOST
+    sim.now = 8 * tick  # global boundary, < one tick after dispatch
+    assert sched._running_prio(pcpu) == PRIO_OVER
+
+
+def test_noop_fire_does_not_recount_same_dispatch():
+    """Regression: a deferred tickle whose waiter was withdrawn (VM pause,
+    work stealing) fires as a no-op and clears the pending slot; a later
+    wake against the *same* dispatch coalesces into a fresh tickle but
+    must not bump ``stat_deferred_tickles`` a second time."""
+    sim, vmm, hog, lat = _contended_pair()
+    sched = vmm.scheduler
+    cur = hog.vcpus[0]
+    cur.prio = PRIO_UNDER
+    pcpu = cur.pcpu
+    before = sched.stat_deferred_tickles
+    lat.vcpus[0].wake()
+    assert sched.stat_deferred_tickles == before + 1
+    # Withdraw the waiter (as a VM pause would), then let the pending
+    # tickle fire as a no-op.
+    sched.remove_queued(lat.vcpus[0])
+    lat.vcpus[0].state = VCPUState.BLOCKED
+    sched._ratelimit_fire(pcpu, cur, pcpu.run_start_ns)
+    assert pcpu.index not in sched._pending_tickles
+    assert pcpu.current is cur  # dispatch survived the no-op fire
+    # A new deferred wake against the same (PCPU, dispatch): one fresh
+    # pending tickle, zero additional deferral counts.
+    extra = add_guest_vm(vmm, 1, name="extra2")
+    extra.vcpus[0].credit = 1000.0
+    extra.vcpus[0].wake()
+    assert sched.stat_deferred_tickles == before + 1
+    assert pcpu.index in sched._pending_tickles
+
+
 def test_scheduler_statistics_counters():
     """The introspection counters move under a contended workload."""
     sim, cluster, vmms = make_node_world(n_pcpus=2)

@@ -159,6 +159,49 @@ def test_overlapping_vm_pause_faults_heal_at_the_last():
     assert w.fault_injector.stats["healed"] == {"vm_pause": 2}
 
 
+def test_heal_after_skip_does_not_resume_later_vm():
+    """Regression: a ``vm_pause`` whose inject was skipped (no guest
+    existed yet) must not heal anything — re-resolving the target at heal
+    time used to pick up a VM admitted *after* the skip and decrement a
+    pause depth that window never incremented."""
+    plan = FaultPlan.of([
+        FaultEvent("vm_pause", at_ns=1 * MSEC, node=0, duration_ns=10 * MSEC),
+    ])
+    w = CloudWorld(WorldConfig(n_nodes=1, faults=plan))
+    w.run(horizon_ns=2 * MSEC)  # inject fires with no guest: skipped
+    assert w.fault_injector.stats["skipped"] == {"vm_pause": 1}
+    # A guest admitted between inject and heal, frozen by its own window
+    # (stand-in for a migration stop-and-copy).
+    vm = w.new_vm(name="late", node_idx=0)
+    vm.node.vmm.pause_vm(vm)
+    w.run(horizon_ns=15 * MSEC)  # the skipped fault's heal fires at 11 ms
+    assert vm.paused and vm.pause_depth == 1  # untouched by the heal
+    stats = w.fault_injector.stats
+    assert stats["injected"] == {"vm_pause": 1}
+    assert stats["healed"] == {}  # no pause happened, so nothing healed
+    assert stats["skipped"] == {"vm_pause": 1}
+
+
+def test_heal_after_teardown_releases_only_its_own_window():
+    """A tenant torn down mid-fault keeps its teardown freeze: the heal
+    releases exactly the window it opened at inject time."""
+    plan = FaultPlan.of([
+        FaultEvent("vm_pause", at_ns=1 * MSEC, node=0, vm="t0",
+                   duration_ns=10 * MSEC),
+    ])
+    w = CloudWorld(WorldConfig(n_nodes=1, faults=plan))
+    vm = w.new_vm(name="t0", node_idx=0)
+    w.run(horizon_ns=2 * MSEC)
+    assert vm.paused and vm.pause_depth == 1
+    w.teardown_vm(vm)  # departs while the fault window is still open
+    assert vm.pause_depth == 2
+    w.run(horizon_ns=15 * MSEC)  # heal releases the fault window only
+    assert vm.paused and vm.pause_depth == 1  # teardown freeze holds
+    stats = w.fault_injector.stats
+    assert stats["healed"] == {"vm_pause": 1}  # a real pause, really healed
+    assert stats["skipped"] == {}
+
+
 def test_crash_quiesces_and_restart_recovers(single_node):
     sim, cluster, vmm = single_node
     from repro.hypervisor.vm import VM

@@ -204,6 +204,26 @@ def test_fcfs_queue_drains_after_departures():
     assert t1["admit_ns"] <= t2["admit_ns"]  # FIFO order preserved
 
 
+def test_slowdown_counts_censored_tenants():
+    """Regression: the slowdown mean/max only cover *departed* tenants —
+    the stats must say how many admitted tenants were still in flight
+    (censored) at snapshot time, not silently fold them in as zeros."""
+    w = _tight_world("fcfs-queue", [dict(TWO_VM, at_ms=0.0, rounds=10)])
+    w.run(horizon_ns=100 * MSEC)  # admitted, nowhere near done
+    s = w.service.stats
+    assert s["admitted"] == 1 and s["departed"] == 0
+    assert s["slowdown_censored"] == 1
+    assert s["slowdown_mean"] == 0.0  # no completed observation yet
+    from repro.metrics.collectors import service_registry
+
+    assert service_registry(w.service).snapshot()["slowdown_censored"] == 1
+    w.run(horizon_ns=60 * SEC)  # let the tenant finish
+    s = w.service.stats
+    assert s["departed"] == 1
+    assert s["slowdown_censored"] == 0
+    assert s["slowdown_mean"] > 0.0
+
+
 def test_migration_aware_never_mixes_and_kicks_under_pressure():
     # 2 nodes x 2 slots; three 2-VM tenants arrive back to back.  The
     # anti-mix placement spreads t0 one-VM-per-node (the paper-preferred
