@@ -38,6 +38,11 @@ simulations depend on:
   overlap) — the outcome depends on insertion order, which the model
   never specifies.  Suspects are confirmed (or cleared) by the
   tie-permutation differential in :mod:`repro.analysis.races`.
+* **SAN009 — DFRS allocation integrity** (emitted by
+  :class:`repro.dfrs.controller.DFRSController` through
+  :meth:`SimSanitizer.record`): the per-VM caps/weights a host scheduler
+  actually applied must match the controller's last published solve, and
+  no host's published caps may sum above its capacity.
 
 Because the hooks only read state, a sanitized run is bit-identical to
 an unsanitized one.  Violations are collected as structured
@@ -117,6 +122,10 @@ class SimSanitizer:
     #: Emitted by :class:`repro.analysis.races.TieRaceTracker`, not by the
     #: hooks below: a non-commuting pair of same-timestamp events.
     RACE = "SAN008"
+    #: Emitted by :class:`repro.dfrs.controller.DFRSController`: the
+    #: caps/weights a host applied do not match the last published solve,
+    #: or a host's published caps sum above its capacity.
+    DFRS = "SAN009"
 
     def __init__(
         self,

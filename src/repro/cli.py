@@ -11,6 +11,7 @@ Examples::
     python -m repro probe --scheduler CR
     python -m repro chaos --app is --nodes 2 --faults random:3:1
     python -m repro migrate --policy demix --placement pack
+    python -m repro dfrs --nodes 3 --horizon 10
     python -m repro serve --admission migration-aware --rate 3 --tenants 8
     python -m repro trace --app is --slice 30
     python -m repro perf
@@ -41,6 +42,13 @@ cell where the chosen policy (``demix`` / ``consolidate`` /
 ``evacuate``) live-migrates VMs at runtime, reporting parallel round
 times, completed migrations and per-VM downtime.  It accepts the same
 ``--faults`` spec (``evacuate`` drains crashed / degraded nodes).
+
+``dfrs`` runs the design-space comparator (:mod:`repro.dfrs`): the same
+mixed-tenancy cell under plain CR, the paper's ATC, cluster-level DFRS
+fractional allocation (per-VM caps/weights re-solved periodically from
+monitor signals), and the ATC+DFRS hybrid, printing one normalized
+table.  ``--moves`` additionally lets the DFRS controller relocate VMs
+through the live-migration engine.
 
 ``serve`` runs the always-on service scenario (:mod:`repro.service`):
 tenants arrive as a stream (Poisson at ``--rate``, or ``--arrival trace``
@@ -196,6 +204,30 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--horizon", type=float, default=10.0, help="virtual seconds")
     sp.add_argument("--faults", default=None, metavar="SPEC",
                     help="fault plan: random:N[:SEED], inline JSON, or a plan file")
+    runner_opts(sp)
+
+    sp = sub.add_parser("dfrs", help="cluster-level fractional allocation vs "
+                        "ATC: {CR, ATC, CR+DFRS, ATC+DFRS} on one mixed-"
+                        "tenancy cell (repro.dfrs)")
+    sp.add_argument("--nodes", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--app", default="lu", choices=NPB_EXTENDED)
+    sp.add_argument("--placement", default="pack", metavar="POLICY",
+                    help="initial placement: spread, pack, striped, or "
+                    "random:SEED (default pack, which mixes clusters)")
+    sp.add_argument("--clusters", type=int, default=2, metavar="N",
+                    help="parallel virtual clusters (default 2)")
+    sp.add_argument("--vms-per-cluster", type=int, default=2, metavar="N")
+    sp.add_argument("--horizon", type=float, default=10.0, help="virtual seconds")
+    sp.add_argument("--solve-every", type=int, default=4, metavar="N",
+                    help="re-solve the fractional allocation every N "
+                    "accounting periods (default 4)")
+    sp.add_argument("--headroom", type=float, default=1.25,
+                    help="cap slack multiplier over the solved allocation "
+                    "(default 1.25)")
+    sp.add_argument("--moves", action="store_true",
+                    help="let DFRS relocate VMs through the live-migration "
+                    "engine (off by default)")
     runner_opts(sp)
 
     sp = sub.add_parser("serve", help="always-on service: streaming tenant "
@@ -362,7 +394,7 @@ def _run_cells(args, specs: list[RunSpec], allow_partial: bool = False) -> Optio
 def _cmd_list() -> None:
     print("schedulers :", ", ".join(scheduler_names()))
     print("NPB kernels:", ", ".join(NPB_EXTENDED), "(classes A/B/C)")
-    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, serve, attack, probe")
+    print("experiments: typea, compare, sweep, mix, typeb, chaos, migrate, dfrs, serve, attack, probe")
     print("tools      : trace (structured tracing + Perfetto export), "
           "perf (self-profiling micro-suite), "
           "lint (static determinism checks; --list-rules for codes), "
@@ -606,6 +638,57 @@ def _cmd_migrate(args) -> int:
     if moved:
         placed = ", ".join(f"{vm}->node{n}" for vm, n in sorted(moved.items()))
         print(f"moved: {placed}", file=sys.stderr)
+    return 0
+
+
+DFRS_MODES = ("baseline", "atc", "dfrs", "hybrid")
+
+
+def _cmd_dfrs(args) -> int:
+    dfrs = {"solve_every": args.solve_every, "headroom": args.headroom}
+    if args.moves:
+        dfrs["allow_moves"] = True
+    base = dict(
+        placement=args.placement, n_nodes=args.nodes,
+        n_clusters=args.clusters, vms_per_cluster=args.vms_per_cluster,
+        app_name=args.app, seed=args.seed, horizon_s=args.horizon,
+        dfrs=dfrs,
+    )
+    specs = [
+        RunSpec("dfrs_compare", dict(base, mode=mode),
+                label=f"dfrs:{mode}", sanitize=args.sanitize)
+        for mode in DFRS_MODES
+    ]
+    results = _run_cells(args, specs)
+    if results is None:
+        return 1
+    base_round = results[0].value["parallel_mean_round_ns"]
+    rows = []
+    for mode, r in zip(DFRS_MODES, results):
+        v = r.value
+        d = v.get("dfrs", {})
+        rows.append((
+            mode, v["scheduler"],
+            v["parallel_mean_round_ns"] / 1e6,
+            v["parallel_mean_round_ns"] / base_round,
+            v["np_mean_run_ns"] / 1e6,
+            d.get("solves", "-"), d.get("caps_applied", "-"),
+            f"{d['last_min_yield']:.3f}" if d else "-",
+        ))
+    print(
+        format_table(
+            ["mode", "sched", "parallel round (ms)", "vs CR",
+             "sphinx3 (ms)", "solves", "caps", "min yield"],
+            rows,
+            title=f"DFRS comparator — {args.app} x{args.clusters} clusters, "
+            f"{args.placement} placement on {args.nodes} nodes",
+        )
+    )
+    violations = sum(r.value.get("dfrs", {}).get("violations", 0) for r in results)
+    if violations:
+        print(f"SAN009: {violations} allocation-consistency violation(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -907,6 +990,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "typeb": _cmd_typeb,
         "chaos": _cmd_chaos,
         "migrate": _cmd_migrate,
+        "dfrs": _cmd_dfrs,
         "serve": _cmd_serve,
         "attack": _cmd_attack,
         "probe": _cmd_probe,

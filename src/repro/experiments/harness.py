@@ -27,11 +27,12 @@ from repro.obs.profiler import SimProfiler
 from repro.obs.trace import TraceLog
 from repro.cluster.node import NodeParams
 from repro.cluster.topology import Cluster, build_cluster
+from repro.dfrs.controller import DFRSConfig, DFRSController
 from repro.guest.kernel import GuestKernel
 from repro.hypervisor.dom0 import Dom0, Dom0Params
 from repro.hypervisor.vm import VM
 from repro.hypervisor.vmm import VMM
-from repro.migration.engine import MigrationConfig, MigrationEngine
+from repro.migration.engine import MigrationConfig, MigrationEngine, per_vcpu_params
 from repro.migration.rebalancer import Rebalancer
 from repro.schedulers.base import SchedulerParams
 from repro.schedulers.registry import make_scheduler_factory
@@ -124,6 +125,14 @@ class WorldConfig:
     #: events and draws no RNG, so such a run is bit-identical — event
     #: count included — to one without the layer.
     service: Optional[ServiceConfig] = None
+    #: Cluster-scope fractional resource scheduling (repro.dfrs): a
+    #: leader-elected controller that periodically re-solves per-VM
+    #: (cap, weight) allocations and pushes them into the per-host
+    #: schedulers; ``None`` = subsystem not constructed.  A configured
+    #: controller with ``solve_every=0`` never solves, draws no RNG and
+    #: adds no events, so such a run is bit-identical — event count
+    #: included — to one without the layer.
+    dfrs: Optional[DFRSConfig] = None
     node_params: NodeParams = field(default_factory=NodeParams)
     net_params: NetworkParams = field(default_factory=NetworkParams)
     dom0_params: Dom0Params = field(default_factory=Dom0Params)
@@ -168,6 +177,16 @@ class CloudWorld:
             self.migration_engine = MigrationEngine(self, cfg.migration.params)
             if cfg.migration.policy != "none":
                 self.rebalancer = Rebalancer(self, self.migration_engine, cfg.migration)
+        self.dfrs: Optional[DFRSController] = None
+        if cfg.dfrs is not None:
+            if cfg.dfrs.allow_moves and self.migration_engine is None:
+                # DFRS relocations go through the standard engine; attach
+                # one (no rebalancer) when the config demands moves but no
+                # migration control plane was requested.  DFRS moves VMs
+                # of very different shapes, so the footprint scales with
+                # VCPU count.
+                self.migration_engine = MigrationEngine(self, per_vcpu_params())
+            self.dfrs = DFRSController(self, cfg.dfrs)
         self.service: Optional[CloudService] = (
             CloudService(self, cfg.service) if cfg.service is not None else None
         )

@@ -76,6 +76,7 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "fault_probe": scenarios.run_fault_probe,
     "migration_rebalance": scenarios.run_migration_rebalance,
     "service": scenarios.run_service,
+    "dfrs_compare": scenarios.run_dfrs_compare,
     "attack": scenarios.run_attack,
 }
 

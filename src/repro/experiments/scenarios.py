@@ -27,6 +27,10 @@ Setups reproduced:
   under a live-migration rebalancing policy (:mod:`repro.migration`):
   compares static placements against dynamically demixed/consolidated/
   evacuated ones.
+* ``run_dfrs_compare`` — design-space comparator (:mod:`repro.dfrs`):
+  the same mixed-tenancy cell run under plain CR, the paper's ATC
+  (per-VCPU slice control), cluster-level DFRS fractional allocation
+  (per-VM caps/weights solved periodically), and the ATC+DFRS hybrid.
 * ``run_service`` — always-on cloud service (:mod:`repro.service`):
   tenants arrive as a stream (Poisson or trace replay), an admission
   policy admits/queues/rejects them, and completed tenants are torn
@@ -40,6 +44,7 @@ import os
 import time
 from typing import Optional, Sequence
 
+from repro.dfrs.controller import DFRSConfig
 from repro.experiments.harness import CloudWorld, WorldConfig
 from repro.faults.plan import FaultPlan
 from repro.migration.engine import MigrationConfig
@@ -64,6 +69,7 @@ __all__ = [
     "run_fault_probe",
     "run_migration_rebalance",
     "run_service",
+    "run_dfrs_compare",
     "run_attack",
     "full_scale",
 ]
@@ -91,12 +97,13 @@ def _world(
     placement: str = "spread",
     migration: Optional[dict] = None,
     service: Optional[dict] = None,
+    dfrs: Optional[dict] = None,
     event_queue: Optional[str] = None,
     tie_order: Optional[str] = None,
 ) -> CloudWorld:
-    # Fault plans, migration configs and service configs travel through
-    # scenario params as JSON dicts so they are picklable and fold into
-    # the sweep cache key automatically.
+    # Fault plans, migration/service/DFRS configs travel through scenario
+    # params as JSON dicts so they are picklable and fold into the sweep
+    # cache key automatically.
     plan = FaultPlan.from_dicts(faults) if faults else None
     return CloudWorld(
         WorldConfig(
@@ -117,6 +124,7 @@ def _world(
             placement=placement,
             migration=MigrationConfig.from_dict(migration) if migration else None,
             service=ServiceConfig.from_dict(service) if service else None,
+            dfrs=DFRSConfig.from_dict(dfrs) if dfrs is not None else None,
         )
     )
 
@@ -140,6 +148,8 @@ def _attach_obs(result: dict, world: CloudWorld) -> dict:
         result["rebalancer"] = world.rebalancer.stats
     if world.service is not None:
         result["service"] = world.service.stats
+    if world.dfrs is not None:
+        result["dfrs"] = world.dfrs.stats
     return result
 
 
@@ -690,6 +700,93 @@ def run_migration_rebalance(
         "per_cluster_mean_round_ns": {
             f"vc{k}": apps[k].mean_round_ns for k in range(n_clusters)
         },
+        "final_nodes": {vm.name: vm.node.index for vm in world.vms},
+        "sim_time_ns": world.sim.now,
+        "events": world.sim.events_processed,
+    }, world)
+
+
+def run_dfrs_compare(
+    mode: str = "hybrid",
+    placement: str = "pack",
+    n_nodes: int = 3,
+    n_clusters: int = 2,
+    vms_per_cluster: int = 2,
+    vms_per_node: int = 4,
+    vcpus_per_vm: int = 4,
+    app_name: str = "lu",
+    n_nonparallel: int = 1,
+    seed: int = 0,
+    horizon_s: float = 10.0,
+    dfrs: Optional[dict] = None,
+    sched_params: Optional[SchedulerParams] = None,
+    sanitize: bool = False,
+    trace: bool = False,
+    trace_capacity: int = 65536,
+    profile: bool = False,
+    faults: Optional[Sequence[dict]] = None,
+    tie_order: Optional[str] = None,
+) -> dict:
+    """DFRS comparator cell: one mixed-tenancy packed world (the
+    ``run_migration_rebalance`` shape) run under one point of the
+    {scheduler} × {cluster allocator} design space:
+
+    * ``"baseline"`` — plain CR, no cluster layer (the paper's default);
+    * ``"atc"``      — the paper's ATC: per-VCPU adaptive time slices,
+      no cluster layer;
+    * ``"dfrs"``     — CR plus the DFRS controller: per-VM fractional
+      caps and weights re-solved every ``solve_every`` periods from
+      monitor signals (:mod:`repro.dfrs`);
+    * ``"hybrid"``   — ATC *and* DFRS: intra-host slice adaptation under
+      cluster-level fractional allocation;
+    * ``"idle"``     — CR plus a constructed-but-disabled controller
+      (``solve_every=0``): the bit-identity control, which must match
+      ``"baseline"`` exactly, event count included.
+
+    ``dfrs`` holds :class:`~repro.dfrs.controller.DFRSConfig` overrides
+    as a JSON-friendly dict (``solve_every``, ``headroom``,
+    ``allow_moves``...).  Results carry the same round-time keys as the
+    migration scenario so benches can put all modes on one normalized
+    axis.
+    """
+    modes = {
+        "baseline": ("CR", None),
+        "atc": ("ATC", None),
+        "dfrs": ("CR", dict(dfrs or {})),
+        "hybrid": ("ATC", dict(dfrs or {})),
+        "idle": ("CR", {**(dfrs or {}), "solve_every": 0}),
+    }
+    try:
+        scheduler, dfrs_cfg = modes[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown dfrs_compare mode {mode!r}; choose from {sorted(modes)}"
+        ) from None
+    world = _world(
+        n_nodes, scheduler, seed, sched_params=sched_params,
+        vcpus_per_vm=vcpus_per_vm, vms_per_node=vms_per_node,
+        sanitize=sanitize, trace=trace, trace_capacity=trace_capacity,
+        profile=profile, faults=faults, placement=placement,
+        tie_order=tie_order, dfrs=dfrs_cfg,
+    )
+    apps = []
+    for k in range(n_clusters):
+        vc = world.virtual_cluster(n_vms=vms_per_cluster, name=f"vc{k}")
+        apps.append(world.add_npb(app_name, vc.vms, rounds=None, warmup_rounds=1))
+    np_apps = []
+    for j in range(n_nonparallel):
+        np_apps.append(world.add_cpu_app("sphinx3", world.new_vm(name=f"np{j}")))
+    world.run(horizon_ns=round(horizon_s * SEC))
+    return _attach_obs({
+        "mode": mode,
+        "scheduler": scheduler,
+        "placement": placement,
+        "app": app_name,
+        "parallel_mean_round_ns": mean([t for a in apps for t in a.round_times]),
+        "per_cluster_mean_round_ns": {
+            f"vc{k}": apps[k].mean_round_ns for k in range(n_clusters)
+        },
+        "np_mean_run_ns": mean([a.mean_run_ns for a in np_apps]),
         "final_nodes": {vm.name: vm.node.index for vm in world.vms},
         "sim_time_ns": world.sim.now,
         "events": world.sim.events_processed,

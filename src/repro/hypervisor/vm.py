@@ -138,6 +138,7 @@ class VM:
         "is_parallel",
         "is_dom0",
         "weight",
+        "cap",
         "slice_ns",
         "admin_slice_ns",
         "paused",
@@ -176,6 +177,13 @@ class VM:
         self.is_parallel = is_parallel
         self.is_dom0 = is_dom0
         self.weight = weight
+        #: Per-VM CPU cap as a fraction of *host* capacity (Xen's
+        #: non-work-conserving ``cap``): once the VM's VCPUs have run
+        #: ``cap * period * n_pcpus`` ns within a period they are parked
+        #: until the next accounting boundary, even if PCPUs sit idle.
+        #: ``None`` (the default) = uncapped; set through the scheduler's
+        #: cluster-scope hook (``set_vm_cap``), never written mid-period.
+        self.cap: Optional[float] = None
         self.vcpus = [VCPU(self, i) for i in range(n_vcpus)]
         #: Current scheduler time slice for this VM (ns); set by the
         #: scheduler / ATC controller.  ``None`` means scheduler default.

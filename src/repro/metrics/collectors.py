@@ -30,6 +30,7 @@ __all__ = [
     "vm_registry",
     "node_registry",
     "cluster_registry",
+    "dfrs_registry",
     "migration_registry",
     "service_registry",
     "world_registry",
@@ -145,6 +146,21 @@ def service_registry(service) -> MetricsRegistry:
     return reg
 
 
+def dfrs_registry(controller) -> MetricsRegistry:
+    """DFRS rollup (repro.dfrs): solve/publish counters, the last solve's
+    yield summary, and the SAN009 self-check tally."""
+    reg = MetricsRegistry()
+    reg.register("solve_every", lambda: controller.cfg.solve_every)
+    reg.register("solves", lambda: controller.solves)
+    reg.register("caps_applied", lambda: controller.caps_applied)
+    reg.register("weights_applied", lambda: controller.weights_applied)
+    reg.register("moves_requested", lambda: controller.moves_requested)
+    reg.register("last_min_yield", lambda: controller.last_min_yield)
+    reg.register("last_mean_yield", lambda: controller.last_mean_yield)
+    reg.register("violations", lambda: len(controller.violations))
+    return reg
+
+
 def migration_registry(engine) -> MetricsRegistry:
     """Live-migration rollup (repro.migration).  ``downtime_ns`` is the
     per-VM accumulated stop-and-copy blackout, conserved against the
@@ -184,6 +200,9 @@ def world_registry(world) -> MetricsRegistry:
     service = getattr(world, "service", None)
     if service is not None:
         reg.merge(service_registry(service), prefix="service.")
+    dfrs = getattr(world, "dfrs", None)
+    if dfrs is not None:
+        reg.merge(dfrs_registry(dfrs), prefix="dfrs.")
     return reg
 
 

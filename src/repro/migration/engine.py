@@ -42,17 +42,42 @@ from repro.sim.units import MSEC, SEC, USEC
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.harness import CloudWorld
 
-__all__ = ["MigrationParams", "MigrationConfig", "Migration", "MigrationEngine"]
+__all__ = [
+    "MigrationParams",
+    "MigrationConfig",
+    "Migration",
+    "MigrationEngine",
+    "per_vcpu_params",
+]
 
 MIB = 1 << 20
+
+
+def per_vcpu_params(
+    base: "MigrationParams | None" = None, mem_bytes_per_vcpu: int = 8 * MIB
+) -> "MigrationParams":
+    """A :class:`MigrationParams` with VCPU-scaled memory footprints.
+
+    The default cost model keeps ``mem_bytes_per_vcpu=0`` for
+    bit-identity with historical runs; controllers that relocate VMs of
+    very different shapes (DFRS) use this so a 16-VCPU VM costs more
+    fabric traffic to move than a 1-VCPU VM."""
+    from dataclasses import replace
+
+    return replace(base or MigrationParams(), mem_bytes_per_vcpu=mem_bytes_per_vcpu)
 
 
 @dataclass(frozen=True)
 class MigrationParams:
     """Cost model of one live migration."""
 
-    #: Guest memory image size to transfer in round 1.
+    #: Guest memory image base size to transfer in round 1.
     mem_bytes: int = 64 * MIB
+    #: Additional image size per VCPU: a 16-VCPU VM carries more state
+    #: (and costs more fabric traffic to move) than a 1-VCPU VM.  The
+    #: default 0 keeps the historical fixed-size cost model bit-identical;
+    #: DFRS-triggered moves enable it (see ``per_vcpu_params``).
+    mem_bytes_per_vcpu: int = 0
     #: Rate at which the running guest dirties pages during pre-copy.
     dirty_bytes_per_s: int = 8 * MIB
     #: Stop-and-copy when the dirty residue falls below this.
@@ -68,6 +93,11 @@ class MigrationParams:
     #: Abort the migration if it has not completed by then (covers
     #: streams stalled by crashed destinations or dead links).
     abort_timeout_ns: int = 30 * SEC
+
+    def mem_for(self, vm: "VM") -> int:
+        """Memory image size for migrating ``vm``: the base image plus
+        the per-VCPU component (0 unless configured)."""
+        return self.mem_bytes + self.mem_bytes_per_vcpu * len(vm.vcpus)
 
 
 @dataclass(frozen=True)
@@ -112,6 +142,7 @@ class Migration:
         "dst",
         "start_ns",
         "round_no",
+        "mem_bytes",
         "remaining",
         "bytes_sent",
         "round_started_ns",
@@ -127,6 +158,7 @@ class Migration:
         self.dst = dst
         self.start_ns = start_ns
         self.round_no = 1
+        self.mem_bytes = 0
         self.remaining = 0
         self.bytes_sent = 0
         self.round_started_ns = start_ns
@@ -203,7 +235,8 @@ class MigrationEngine:
             return False
         self.world._node_vm_load[dst_idx] += 1  # reserve the slot now
         m = Migration(vm, src_idx, dst_idx, self.sim.now)
-        m.remaining = self.params.mem_bytes
+        m.mem_bytes = self.params.mem_for(vm)
+        m.remaining = m.mem_bytes
         self.active[vm.vmid] = m
         self.started += 1
         m.abort_ev = self.sim.after(
@@ -216,7 +249,7 @@ class MigrationEngine:
                 vm=vm.name,
                 src=src_idx,
                 dst=dst_idx,
-                mem_bytes=self.params.mem_bytes,
+                mem_bytes=m.mem_bytes,
             )
         self._send_chunk(m, m.remaining)
         return True
@@ -244,7 +277,7 @@ class MigrationEngine:
         now = self.sim.now
         elapsed = now - m.round_started_ns
         dirtied = min(
-            self.params.mem_bytes, self.params.dirty_bytes_per_s * elapsed // SEC
+            m.mem_bytes, self.params.dirty_bytes_per_s * elapsed // SEC
         )
         self.precopy_rounds += 1
         if obstrace.enabled:

@@ -61,6 +61,12 @@ Record kinds (``TraceLog.KINDS``):
 ``service.depart``
     A tenant finished its rounds and its cluster was torn down: time in
     system and slowdown (time in system over the app's compute bound).
+``dfrs.solve``
+    A :mod:`repro.dfrs` control round re-solved the cluster's fractional
+    allocations: VM count and the per-host minimum yields.
+``dfrs.apply``
+    One VM's solved (cap, weight) pair was published to its host
+    scheduler (applied at the host's next accounting boundary).
 
 Activation is scoped: ``with log.activate(): world.run(...)``.  Only one
 log is active at a time per process (sweep workers are separate
@@ -143,6 +149,8 @@ class TraceLog:
         "service.depart",
         "sched.theft",
         "sched.boost_preempt",
+        "dfrs.solve",
+        "dfrs.apply",
     )
 
     __slots__ = ("capacity", "_buf", "_next", "total", "dropped", "by_kind")

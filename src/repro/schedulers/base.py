@@ -45,6 +45,12 @@ class Scheduler(abc.ABC):
     def __init__(self, vmm: "VMM", params: SchedulerParams | None = None) -> None:
         self.vmm = vmm
         self.params = params or SchedulerParams()
+        #: Cluster-scope allocation updates staged by ``set_vm_cap`` /
+        #: ``set_vm_weight`` (insertion-ordered ``{VM: value}``); applied
+        #: at the next accounting boundary by ``apply_pending_allocations``
+        #: so a mid-period publish cannot skew in-flight credit accounting.
+        self._pending_caps: dict["VM", Optional[float]] = {}
+        self._pending_weights: dict["VM", float] = {}
 
     # -- queue events ----------------------------------------------------
     @abc.abstractmethod
@@ -72,6 +78,40 @@ class Scheduler(abc.ABC):
         with explicit queues must drop the VCPU from them; the default
         only clears the bookkeeping flag."""
         vcpu.queued = False
+
+    # -- cluster-scope allocation hooks -----------------------------------
+    def set_vm_cap(self, vm: "VM", cap: Optional[float]) -> None:
+        """Stage a per-VM CPU cap (fraction of host capacity; ``None`` =
+        uncapped) from a cluster-level controller (:mod:`repro.dfrs`).
+
+        The cap is *not* applied immediately: it takes effect at the next
+        accounting boundary (``apply_pending_allocations``), so the
+        in-flight period's budgets stay consistent with the weights and
+        caps its accounting started under."""
+        self._pending_caps[vm] = cap
+
+    def set_vm_weight(self, vm: "VM", weight: float) -> None:
+        """Stage a per-VM proportional-share weight from a cluster-level
+        controller; applied at the next accounting boundary, like
+        :meth:`set_vm_cap`."""
+        if weight <= 0:
+            raise ValueError(f"{vm.name}: weight must be positive, got {weight}")
+        self._pending_weights[vm] = weight
+
+    def apply_pending_allocations(self) -> None:
+        """Apply staged cap/weight updates.  Called by concrete schedulers
+        at the *top* of their accounting boundary (before shares are
+        computed), so the new weights govern the very period they open.
+        No-op — and allocation-free — when nothing is staged, keeping
+        worlds without a cluster controller bit-identical."""
+        if self._pending_weights:
+            for vm, weight in self._pending_weights.items():
+                vm.weight = weight
+            self._pending_weights.clear()
+        if self._pending_caps:
+            for vm, cap in self._pending_caps.items():
+                vm.cap = cap
+            self._pending_caps.clear()
 
     # -- periodic accounting ----------------------------------------------
     def on_period(self, now: int) -> None:

@@ -106,11 +106,20 @@ class CreditScheduler(Scheduler):
         #: entry is gone by then, so presence in ``_pending_tickles`` alone
         #: would double-count.
         self._tickle_counted: dict[int, tuple] = {}
+        #: VCPUs of capped VMs parked for the rest of the period: their
+        #: VM's cap budget is exhausted, so ``pick_next`` sidelines them
+        #: here (Xen's CSCHED_PRI_IDLE parking) instead of running them
+        #: work-conservingly.  Unparked — re-queued on their home queues —
+        #: at the next accounting boundary, when budgets refresh.  Stays
+        #: empty (and costs one falsy check per pick) while no VM is
+        #: capped, keeping cap-free runs bit-identical.
+        self._parked: list["VCPU"] = []
         # Introspection counters (analysis/debugging; no behavioural role).
         self.stat_wake_preemptions = 0
         self.stat_deferred_tickles = 0
         self.stat_steals = 0
         self.stat_boost_wakes = 0
+        self.stat_cap_parks = 0
 
     # ------------------------------------------------------------------
     # Accounting-tick arithmetic (single source of truth)
@@ -401,18 +410,51 @@ class CreditScheduler(Scheduler):
             vcpu.rq = pcpu.index
         return vcpu
 
-    def pick_next(self, pcpu: "PCPU") -> Optional[tuple["VCPU", int]]:
-        vcpu = self._pop_best(self.runqs[pcpu.index])
-        if vcpu is None:
-            vcpu = self._steal(pcpu)
-        if vcpu is None:
+    # ------------------------------------------------------------------
+    # Xen-style per-VM cap enforcement (non-work-conserving)
+    # ------------------------------------------------------------------
+    def _cap_remaining_ns(self, vm) -> Optional[int]:
+        """Unused CPU budget (ns) of ``vm``'s cap this period, or ``None``
+        for an uncapped VM.  The budget is ``cap * period * n_pcpus``
+        against the VM's aggregate ``period_run_ns`` — concurrent VCPUs
+        of one VM draw from the same pool, as with Xen's per-domain cap."""
+        cap = vm.cap
+        if cap is None:
             return None
-        return vcpu, self.slice_for(vcpu)
+        budget = int(cap * self.vmm.period_ns * len(self.vmm.node.pcpus))
+        return budget - sum(v.period_run_ns for v in vm.vcpus)
+
+    def pick_next(self, pcpu: "PCPU") -> Optional[tuple["VCPU", int]]:
+        while True:
+            vcpu = self._pop_best(self.runqs[pcpu.index])
+            if vcpu is None:
+                vcpu = self._steal(pcpu)
+            if vcpu is None:
+                return None
+            remaining = self._cap_remaining_ns(vcpu.vm)
+            if remaining is None:
+                return vcpu, self.slice_for(vcpu)
+            if remaining <= 0:
+                # Budget exhausted: park until the next accounting
+                # boundary even though the PCPU may go idle — the cap is
+                # non-work-conserving, which is what makes a fractional
+                # allocation binding.
+                self._parked.append(vcpu)
+                self.stat_cap_parks += 1
+                continue
+            # Truncate the slice so the dispatch cannot overrun the
+            # budget (floor 1 ns: a dispatched slice must be positive).
+            return vcpu, max(1, min(self.slice_for(vcpu), remaining))
 
     def remove_queued(self, vcpu: "VCPU") -> None:
         """Remove a queued RUNNABLE VCPU from the run queues without
         dispatching it (fault-injection VM pause path)."""
         if not vcpu.queued:
+            # A parked VCPU is RUNNABLE but not queued; a pause/teardown/
+            # stop-and-copy freeze must still withdraw it, or the next
+            # period would re-queue a frozen VCPU.
+            if vcpu in self._parked:
+                self._parked.remove(vcpu)
             return
         try:
             self.runqs[vcpu.rq].remove(vcpu)
@@ -446,6 +488,10 @@ class CreditScheduler(Scheduler):
     # Periodic credit accounting
     # ------------------------------------------------------------------
     def on_period(self, now: int) -> None:
+        # Cluster-scope updates (repro.dfrs) land exactly here — before
+        # shares are computed — so the weights that govern a period are
+        # the ones every observer (SAN003 included) reads after it.
+        self.apply_pending_allocations()
         vmm = self.vmm
         period = vmm.period_ns
         capacity = period * len(vmm.node.pcpus)
@@ -462,3 +508,14 @@ class CreditScheduler(Scheduler):
             v.period_charged_ns = 0
             if v.queued and v.prio != PRIO_BOOST:
                 v.prio = self._credit_prio(v)
+        # Cap budgets refreshed (period_run_ns reset above): re-queue the
+        # VCPUs parked by cap exhaustion and restart any idled PCPUs.
+        if self._parked:
+            parked, self._parked = self._parked, []
+            for v in parked:
+                v.prio = self._credit_prio(v)
+                self.runqs[v.rq].append(v)
+                v.queued = True
+            for pcpu in vmm.node.pcpus:
+                if pcpu.current is None:
+                    vmm.kick(pcpu)

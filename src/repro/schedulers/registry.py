@@ -40,8 +40,12 @@ DEFAULT_PARAMS: dict[str, Type[SchedulerParams]] = {
 
 
 def scheduler_names() -> list[str]:
-    """All approach names, in the paper's presentation order."""
-    return ["CR", "CS", "BS", "DSS", "VS", "ATC"]
+    """All approach names, in the paper's presentation order.
+
+    Derived from :data:`SCHEDULERS`, whose insertion order *is* the
+    presentation order — a separately hardcoded list here once meant a
+    newly registered approach could silently vanish from CLI listings."""
+    return list(SCHEDULERS)
 
 
 def make_scheduler_factory(

@@ -370,3 +370,109 @@ def test_scheduler_statistics_counters():
     assert sched.stat_boost_wakes > 0
     assert sched.stat_wake_preemptions + sched.stat_deferred_tickles > 0
     assert sched.stat_steals >= 0  # stealing depends on queue imbalance
+
+
+# ----------------------------------------------------------------------
+# credit_cap_periods clamp boundaries (driven through on_period directly)
+# ----------------------------------------------------------------------
+def _boundary_world(credit_cap_periods=1.0, n_pcpus=2):
+    sim, cluster, vmms = make_node_world(
+        n_pcpus=n_pcpus,
+        scheduler_factory=lambda vmm: CreditScheduler(
+            vmm, CreditParams(credit_cap_periods=credit_cap_periods)
+        ),
+    )
+    return sim, vmms[0]
+
+
+def _mark_active(vm):
+    # ``on_period`` treats a VCPU as active when it is non-BLOCKED or ran
+    # this period; flag the latter without running the simulator.
+    for v in vm.vcpus:
+        v.period_run_ns = 1
+
+
+def test_credit_clamps_to_exactly_plus_cap():
+    sim, vmm = _boundary_world(credit_cap_periods=1.0)
+    vm = add_guest_vm(vmm, 1, name="solo")
+    _mark_active(vm)
+    v = vm.vcpus[0]
+    cap = 1.0 * vmm.period_ns * len(vmm.node.pcpus)
+    # Credit already at the clamp: a full idle-period share may not push
+    # it past +cap (the whole point of the clamp — no unbounded hoarding).
+    v.credit = cap
+    vmm.scheduler.on_period(0)
+    assert v.credit == cap
+
+
+def test_credit_floors_at_exactly_minus_cap():
+    sim, vmm = _boundary_world(credit_cap_periods=0.5)
+    vm = add_guest_vm(vmm, 1, name="hog")
+    _mark_active(vm)
+    v = vm.vcpus[0]
+    cap = 0.5 * vmm.period_ns * len(vmm.node.pcpus)
+    # Charged far beyond anything the share can repay: debt floors at
+    # -cap instead of going arbitrarily negative.
+    v.credit = 0.0
+    v.period_charged_ns = int(10 * cap)
+    vmm.scheduler.on_period(0)
+    assert v.credit == -cap
+
+
+def test_credit_conserved_exactly_when_unclamped():
+    sim, vmm = _boundary_world(credit_cap_periods=100.0)  # clamp out of reach
+    a = add_guest_vm(vmm, 1, name="a")
+    b = add_guest_vm(vmm, 1, name="b")
+    for vm in (a, b):
+        _mark_active(vm)
+    va, vb = a.vcpus[0], b.vcpus[0]
+    va.credit, vb.credit = 123.0, -456.0
+    va.period_charged_ns, vb.period_charged_ns = 7 * MSEC, 11 * MSEC
+    before = va.credit + vb.credit
+    charged = va.period_charged_ns + vb.period_charged_ns
+    capacity = vmm.period_ns * len(vmm.node.pcpus)
+    vmm.scheduler.on_period(0)
+    # Shares sum to exactly one period of capacity, so total credit moves
+    # by capacity minus what was charged — nothing leaks.
+    assert (va.credit + vb.credit) - before == capacity - charged
+
+
+def test_staged_weight_change_governs_same_boundary_shares():
+    # A cluster-scope weight update staged mid-period must be applied at
+    # the TOP of on_period, so the very boundary that follows it already
+    # splits credit by the new weights (3:1), not the old ones (1:1).
+    sim, vmm = _boundary_world(credit_cap_periods=100.0)
+    a = add_guest_vm(vmm, 1, name="a")
+    b = add_guest_vm(vmm, 1, name="b")
+    for vm in (a, b):
+        _mark_active(vm)
+    va, vb = a.vcpus[0], b.vcpus[0]
+    vmm.scheduler.set_vm_weight(a, 3.0)
+    assert a.weight == 1.0  # staged, not yet applied
+    capacity = vmm.period_ns * len(vmm.node.pcpus)
+    vmm.scheduler.on_period(0)
+    assert a.weight == 3.0
+    assert va.credit == capacity * 0.75
+    assert vb.credit == capacity * 0.25
+
+
+def test_clamp_boundary_tracks_mid_run_weight_change():
+    # With the clamp in reach, the boundary after a weight bump clamps the
+    # heavier VM at exactly +cap while the lighter one keeps its smaller
+    # share — the clamp is per-VCPU, not pre-weighting.
+    sim, vmm = _boundary_world(credit_cap_periods=0.25)
+    a = add_guest_vm(vmm, 1, name="a")
+    b = add_guest_vm(vmm, 1, name="b")
+    for vm in (a, b):
+        _mark_active(vm)
+    va, vb = a.vcpus[0], b.vcpus[0]
+    cap = 0.25 * vmm.period_ns * len(vmm.node.pcpus)
+    capacity = vmm.period_ns * len(vmm.node.pcpus)
+    vmm.scheduler.set_vm_weight(a, 3.0)
+    vmm.scheduler.on_period(0)
+    assert va.credit == cap  # 0.75 * capacity clamped down to +cap
+    assert vb.credit == capacity * 0.25  # exactly at the clamp boundary
+    vmm.scheduler.on_period(vmm.period_ns)
+    # Second boundary: both already at/above the clamp; neither exceeds it.
+    assert va.credit == cap
+    assert vb.credit == cap

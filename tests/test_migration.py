@@ -326,3 +326,37 @@ def test_demix_scenario_separates_clusters_and_conserves_downtime():
 
 def test_demix_run_is_reproducible():
     assert _cell("demix") == _cell("demix")
+
+
+# ----------------------------------------------------------------------
+# Per-VM footprint scaling (used by DFRS-issued moves)
+# ----------------------------------------------------------------------
+def test_mem_for_scales_with_vcpu_count():
+    from repro.migration.engine import per_vcpu_params
+
+    base = MigrationParams(mem_bytes=64 * MIB)
+    assert base.mem_bytes_per_vcpu == 0  # legacy cost model: flat footprint
+
+    p = per_vcpu_params(base, mem_bytes_per_vcpu=8 * MIB)
+    cfg = WorldConfig(n_nodes=2, vms_per_node=2, vcpus_per_vm=4,
+                      scheduler="CR", seed=0)
+    world = CloudWorld(cfg)
+    small = world.new_vm(name="small", n_vcpus=1)
+    big = world.new_vm(name="big", n_vcpus=4)
+    assert base.mem_for(small) == base.mem_for(big) == 64 * MIB
+    assert p.mem_for(small) == 64 * MIB + 8 * MIB
+    assert p.mem_for(big) == 64 * MIB + 32 * MIB
+
+
+def test_migration_copies_vcpu_scaled_footprint():
+    from repro.migration.engine import MigrationEngine, per_vcpu_params
+
+    cfg = WorldConfig(n_nodes=2, vms_per_node=2, vcpus_per_vm=2,
+                      scheduler="CR", seed=0)
+    world = CloudWorld(cfg)
+    engine = MigrationEngine(world, per_vcpu_params(mem_bytes_per_vcpu=8 * MIB))
+    vm = world.new_vm(name="mover", n_vcpus=2)
+    assert engine.start(vm, 1)
+    m = engine.active[vm.vmid]
+    assert m.mem_bytes == engine.params.mem_for(vm)
+    assert m.mem_bytes == 64 * MIB + 16 * MIB

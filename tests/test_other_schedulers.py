@@ -39,6 +39,13 @@ def test_registry_contains_paper_approaches():
     assert set(SCHEDULERS) == set(DEFAULT_PARAMS)
 
 
+def test_scheduler_names_derives_from_registry():
+    # Regression: the name list is derived from SCHEDULERS (insertion
+    # order preserved), not a hand-maintained tuple that can drift when a
+    # scheduler is added to the dict.
+    assert scheduler_names() == list(SCHEDULERS)
+
+
 def test_registry_unknown_name():
     with pytest.raises(KeyError):
         make_scheduler_factory("NOPE")
